@@ -1,0 +1,112 @@
+// Command watterbench regenerates the paper's evaluation: every figure
+// sweep (Figures 3-6, the appendix parameter studies, and this repo's
+// ablations) on any of the three synthetic cities.
+//
+// Usage:
+//
+//	watterbench -fig fig3 -city cdc            # one figure, one city
+//	watterbench -fig all -city all -scale 0.25 # the whole evaluation, tiny
+//	watterbench -list                          # enumerate sweeps
+//
+// The -scale flag multiplies order and worker counts; 1.0 is the harness
+// default (~1/25 of paper scale), 25 approximates the paper's full scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"watter/internal/dataset"
+	"watter/internal/exp"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "fig3", "sweep id (fig3..fig6, grid, eta, dt, gmm, omega, or 'all')")
+		city    = flag.String("city", "cdc", "city: nyc, cdc, xia, or 'all'")
+		scale   = flag.Float64("scale", 1, "order/worker count multiplier")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		quiet   = flag.Bool("quiet", false, "suppress per-run progress")
+		list    = flag.Bool("list", false, "list available sweeps and exit")
+		algsCSV = flag.String("algs", "", "comma-separated algorithm subset (default: sweep's own)")
+		csvPath = flag.String("csv", "", "also append tidy per-cell rows to this CSV file")
+	)
+	flag.Parse()
+
+	if *list {
+		base := exp.DefaultParams(dataset.CDC())
+		for _, s := range exp.FigureSweeps(base) {
+			fmt.Printf("%-8s %s  points=%v\n", s.ID, s.Label, s.Points)
+		}
+		return
+	}
+
+	var cities []dataset.Profile
+	if *city == "all" {
+		cities = []dataset.Profile{dataset.NYC(), dataset.CDC(), dataset.XIA()}
+	} else {
+		p, err := dataset.ByName(*city)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cities = []dataset.Profile{p}
+	}
+
+	runner := exp.NewRunner()
+	if !*quiet {
+		runner.Out = os.Stderr
+	}
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	for _, cityProfile := range cities {
+		base := exp.DefaultParams(cityProfile)
+		base.Seed = *seed
+		base.Orders = int(float64(base.Orders) * *scale)
+		base.Workers = int(float64(base.Workers) * *scale)
+		if base.Orders < 10 || base.Workers < 1 {
+			fmt.Fprintln(os.Stderr, "watterbench: scale too small")
+			os.Exit(2)
+		}
+
+		var sweeps []exp.Sweep
+		if *fig == "all" {
+			sweeps = exp.FigureSweeps(base)
+		} else {
+			s, err := exp.SweepByID(base, *fig)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			sweeps = []exp.Sweep{s}
+		}
+		for _, s := range sweeps {
+			if *algsCSV != "" {
+				s.Algs = strings.Split(*algsCSV, ",")
+			}
+			results, err := runner.RunSweep(s, base)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			exp.PrintSweep(os.Stdout, s, cityProfile, results)
+			if csvFile != nil {
+				if err := exp.WriteCSV(csvFile, s.ID, results); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command wattersim runs one ridesharing simulation: a single city,
+// workload and algorithm, reporting the four paper metrics and the
+// dispatched group-size histogram.
+//
+// Usage:
+//
+//	wattersim -city nyc -alg WATTER-expect -n 3000 -m 220
+//	wattersim -alg GDP -tau 1.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"watter/internal/dataset"
+	"watter/internal/exp"
+)
+
+func main() {
+	var (
+		city  = flag.String("city", "cdc", "city: nyc, cdc, xia")
+		alg   = flag.String("alg", "WATTER-expect", "algorithm: GDP, GAS, WATTER-online, WATTER-timeout, WATTER-expect")
+		n     = flag.Int("n", 0, "order count (0 = city default)")
+		m     = flag.Int("m", 0, "worker count (0 = city default)")
+		tau   = flag.Float64("tau", 1.6, "deadline scale")
+		eta   = flag.Float64("eta", 0.8, "watching window scale")
+		kw    = flag.Int("kw", 4, "max vehicle capacity")
+		dt    = flag.Float64("dt", 10, "periodic check interval Δt (s)")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		model = flag.String("model", "", "run WATTER-expect from a saved wattertrain bundle instead of retraining")
+	)
+	flag.Parse()
+
+	profile, err := dataset.ByName(*city)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p := exp.DefaultParams(profile)
+	if *n > 0 {
+		p.Orders = *n
+	}
+	if *m > 0 {
+		p.Workers = *m
+	}
+	p.TauScale = *tau
+	p.Eta = *eta
+	p.MaxCap = *kw
+	p.TickEvery = *dt
+	p.Seed = *seed
+
+	runner := exp.NewRunner()
+	runner.Out = os.Stderr
+	if *model != "" {
+		if *alg != "WATTER-expect" {
+			fmt.Fprintln(os.Stderr, "-model only applies to WATTER-expect")
+			os.Exit(2)
+		}
+		f, err := os.Open(*model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		loaded, err := exp.LoadTrained(f, profile.Build().Net)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runner.UseModel(p, loaded)
+	}
+	res, err := runner.RunOne(*alg, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mt := res.Metrics
+	fmt.Printf("city=%s alg=%s n=%d m=%d tau=%.2f eta=%.2f Kw=%d dt=%.0fs\n",
+		profile.Name, *alg, p.Orders, p.Workers, p.TauScale, p.Eta, p.MaxCap, p.TickEvery)
+	fmt.Printf("  extra time (Φ):   %.0f s  (served %.0f + penalties %.0f)\n",
+		mt.ExtraTime(), mt.ServedExtra, mt.PenaltySum)
+	fmt.Printf("  unified cost:     %.0f\n", mt.UnifiedCost())
+	fmt.Printf("  service rate:     %.1f%% (%d/%d)\n", 100*mt.ServiceRate(), mt.Served, mt.Total)
+	fmt.Printf("  running time:     %.6f s/order\n", mt.RunningTime())
+	fmt.Printf("  avg response:     %.1f s, avg detour: %.1f s (served orders)\n",
+		safeDiv(mt.ResponseSum, mt.Served), safeDiv(mt.DetourSum, mt.Served))
+	fmt.Printf("  group sizes:      ")
+	for k := 1; k < len(mt.GroupSizeHist); k++ {
+		if mt.GroupSizeHist[k] > 0 {
+			fmt.Printf("%dx%d ", k, mt.GroupSizeHist[k])
+		}
+	}
+	fmt.Printf("(avg %.2f)\n", mt.AvgGroupSize())
+	fmt.Printf("  wall time:        %s\n", res.Elapsed.Round(1e6))
+}
+
+func safeDiv(a float64, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / float64(b)
+}

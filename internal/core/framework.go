@@ -1,0 +1,166 @@
+// Package core implements the WATTER framework's order pooling management
+// algorithm (paper Algorithm 1): new orders join the temporal shareability
+// graph, edges and groups expire as time passes, and an asynchronous
+// periodic check walks the pool deciding — per order, via a pluggable
+// strategy — whether its current best group should be dispatched to the
+// closest available worker.
+package core
+
+import (
+	"watter/internal/order"
+	"watter/internal/pool"
+	"watter/internal/sim"
+	"watter/internal/strategy"
+)
+
+// Framework is the WATTER order pooling manager. It satisfies
+// sim.Algorithm; the Decision strategy selects the WATTER variant
+// (online / timeout / expect).
+type Framework struct {
+	Decide  strategy.Decision
+	PoolOpt pool.Options
+	// Tick is the periodic-check interval Δt; the framework uses it for
+	// "last call" dispatches: a group (or solo order) whose feasibility
+	// horizon ends before the next check is dispatched now regardless of
+	// the strategy — the paper's "orders will only be rejected when they
+	// cannot be served in the extreme cases".
+	Tick float64
+
+	env  *sim.Env
+	pool *pool.Pool
+
+	// pendingNoWorker tracks group keys that were approved for dispatch
+	// but had no idle worker; they retry at the next check automatically
+	// because the pool state is unchanged.
+	dispatched int
+}
+
+// New builds a framework with the given decision strategy and pool options
+// and the paper's default Δt = 10 s.
+func New(decide strategy.Decision, opt pool.Options) *Framework {
+	return &Framework{Decide: decide, PoolOpt: opt, Tick: 10}
+}
+
+// Name implements sim.Algorithm.
+func (f *Framework) Name() string { return f.Decide.Name() }
+
+// Pool exposes the shareability graph (read-only use: MDP featurization).
+func (f *Framework) Pool() *pool.Pool { return f.pool }
+
+// SetCandidateRadius overrides the pool's spatial prefilter before a run
+// (used by the candidate-radius ablation bench). Must be called before
+// Init.
+func (f *Framework) SetCandidateRadius(r int) { f.PoolOpt.CandidateRadius = r }
+
+// SetMaxGroupSize bounds clique enumeration (used by the grouping-bound
+// ablation bench). Must be called before Init.
+func (f *Framework) SetMaxGroupSize(k int) { f.PoolOpt.MaxGroupSize = k }
+
+// Init implements sim.Algorithm.
+func (f *Framework) Init(env *sim.Env) {
+	f.env = env
+	opt := f.PoolOpt
+	if opt.Capacity == 0 {
+		opt.Capacity = env.Cfg.Capacity
+	}
+	f.pool = pool.New(env.Planner, env.Index, opt)
+	f.dispatched = 0
+}
+
+// OnOrder implements sim.Algorithm: lines 2-4 of Algorithm 1. An order that
+// cannot be served even alone is rejected immediately.
+func (f *Framework) OnOrder(o *order.Order, now float64) {
+	if o.Expired(now) || o.MaxResponse() < 0 {
+		f.env.Reject(o, now)
+		return
+	}
+	f.pool.Insert(o, now)
+}
+
+// OnTick implements sim.Algorithm: lines 5-16 of Algorithm 1.
+func (f *Framework) OnTick(now float64) {
+	// Lines 5-6: drop expired edges/groups; reject orders whose deadlines
+	// became unreachable.
+	for _, id := range f.pool.ExpireEdges(now) {
+		o := f.pool.Order(id)
+		f.pool.Remove(id, now)
+		f.env.Reject(o, now)
+	}
+	f.checkOrders(now, false)
+}
+
+// Finish implements sim.Algorithm: the pool drains — every remaining order
+// is dispatched if any feasible group and worker exist, otherwise rejected.
+func (f *Framework) Finish(now float64) {
+	for _, id := range f.pool.ExpireEdges(now) {
+		o := f.pool.Order(id)
+		f.pool.Remove(id, now)
+		f.env.Reject(o, now)
+	}
+	f.checkOrders(now, true)
+	// Whatever could not be dispatched (no worker / no feasible group) is
+	// rejected so metrics account for every order.
+	for _, id := range f.pool.OrderIDs() {
+		o := f.pool.Order(id)
+		f.pool.Remove(id, now)
+		f.env.Reject(o, now)
+	}
+}
+
+// checkOrders is the asynchronous periodic check (lines 8-16). When force
+// is true every order with a feasible group is dispatched regardless of the
+// strategy (used at drain time).
+func (f *Framework) checkOrders(now float64, force bool) {
+	for _, id := range f.pool.OrderIDs() {
+		if !f.pool.Contains(id) {
+			continue // removed earlier this pass as part of a group
+		}
+		o := f.pool.Order(id)
+		g, expiry, ok := f.pool.BestGroup(id)
+		// Last call: the group becomes infeasible before the next check.
+		groupLastCall := ok && expiry < now+f.Tick
+		if ok && (force || groupLastCall || f.Decide.ShouldDispatch(g, expiry, now)) {
+			if f.env.DispatchGroup(g, now) {
+				f.pool.RemoveGroup(g, now)
+				f.dispatched++
+				continue
+			}
+			// No idle worker for the group; fall through so a last-call
+			// order can still try solo service before its deadline dies.
+		}
+		// Lines 14-16: no shared group dispatched. Solo service happens
+		// when the strategy serves loners eagerly (online), at the wait
+		// limit, at solo last call, or at drain time.
+		soloLastCall := now+f.Tick+o.DirectCost > o.Deadline
+		if ok && !force && !soloLastCall {
+			continue // holding a live shared group
+		}
+		if force || soloLastCall || f.Decide.ServeSoloEarly() || o.TimedOut(now) {
+			f.serveSoloOrReject(o, now, force)
+		}
+	}
+}
+
+// serveSoloOrReject plans a singleton route for o. Served if feasible and a
+// worker is idle; rejected when the route is infeasible or (at timeout /
+// drain) nobody can take it.
+func (f *Framework) serveSoloOrReject(o *order.Order, now float64, force bool) {
+	plan, feasible := f.env.Planner.PlanGroup([]*order.Order{o}, now, f.env.Cfg.Capacity)
+	if !feasible {
+		f.pool.Remove(o.ID, now)
+		f.env.Reject(o, now)
+		return
+	}
+	g := &order.Group{Orders: []*order.Order{o}, Plan: plan}
+	if f.env.DispatchGroup(g, now) {
+		f.pool.Remove(o.ID, now)
+		f.dispatched++
+		return
+	}
+	if force {
+		f.pool.Remove(o.ID, now)
+		f.env.Reject(o, now)
+	}
+	// Otherwise: no idle worker; keep waiting ("served when there are
+	// suitable workers, otherwise rejected") until the deadline expires.
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testGeoref anchors lat0/lon0 at the grid origin of a CDC-like city.
+var testGeoref = Georeference{Lat0: 30.0, Lon0: 104.0}
+
+func csvCity() *City { return CDC().Build() }
+
+// ll converts a planar point (meters) back to lat/lon for test fixtures.
+func ll(x, y float64) (lat, lon float64) {
+	const mPerDegLat = 111320.0
+	lat = 30.0 + y/mPerDegLat
+	lon = 104.0 + x/(mPerDegLat*0.8660254037844387) // cos(30°)
+	return
+}
+
+func row(release, px, py, dx, dy float64) string {
+	plat, plon := ll(px, py)
+	dlat, dlon := ll(dx, dy)
+	return strings.Join([]string{
+		ftoa(release), ftoa(plat), ftoa(plon), ftoa(dlat), ftoa(dlon), "1",
+	}, ",")
+}
+
+// ftoa formats with enough precision for sub-meter round trips.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 8, 64) }
+
+func TestLoadTripsCSV(t *testing.T) {
+	city := csvCity()
+	lines := []string{
+		"release,plat,plon,dlat,dlon,riders",
+		row(120, 160, 160, 3200, 160), // (1,1) -> (20,1)
+		row(30, 320, 320, 160, 4800),  // (2,2) -> (1,30)
+		"garbage,x,y,z,w,1",           // unparseable
+		row(60, 1e7, 1e7, 160, 160),   // out of bounds pickup
+	}
+	orders, skipped, err := city.LoadTripsCSV(strings.NewReader(strings.Join(lines, "\n")), testGeoref, TripCSVOptions{
+		ReleaseCol: 0, PickupLat: 1, PickupLon: 2, DropoffLat: 3, DropoffLon: 4,
+		RidersCol: 5, HasHeader: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orders) != 2 {
+		t.Fatalf("orders = %d, want 2", len(orders))
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	// Sorted by release, re-IDed.
+	if orders[0].Release != 30 || orders[1].Release != 120 {
+		t.Fatalf("releases = %v, %v", orders[0].Release, orders[1].Release)
+	}
+	if orders[0].ID != 1 || orders[1].ID != 2 {
+		t.Fatalf("ids = %d, %d", orders[0].ID, orders[1].ID)
+	}
+	for _, o := range orders {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("invalid loaded order: %v", err)
+		}
+		if o.DirectCost != city.Net.Cost(o.Pickup, o.Dropoff) {
+			t.Fatal("direct cost not derived from network")
+		}
+		// Defaults applied.
+		if o.Deadline != o.Release+1.6*o.DirectCost {
+			t.Fatalf("deadline default missing on %d", o.ID)
+		}
+	}
+	// Snapping: first loaded order (release 30) goes (2,2) -> (1,30).
+	if orders[0].Pickup != city.Net.Node(2, 2) || orders[0].Dropoff != city.Net.Node(1, 30) {
+		t.Fatalf("snap wrong: %v -> %v", orders[0].Pickup, orders[0].Dropoff)
+	}
+}
+
+func TestLoadTripsCSVMaxOrders(t *testing.T) {
+	city := csvCity()
+	var lines []string
+	for i := 0; i < 10; i++ {
+		lines = append(lines, row(float64(i), 160, 160, 1600, 1600))
+	}
+	orders, _, err := city.LoadTripsCSV(strings.NewReader(strings.Join(lines, "\n")), testGeoref, TripCSVOptions{
+		ReleaseCol: 0, PickupLat: 1, PickupLon: 2, DropoffLat: 3, DropoffLon: 4,
+		RidersCol: -1, MaxOrders: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orders) != 4 {
+		t.Fatalf("cap ignored: %d", len(orders))
+	}
+	for _, o := range orders {
+		if o.Riders != 1 {
+			t.Fatalf("riders default = %d", o.Riders)
+		}
+	}
+}
+
+func TestGeoreferenceRoundTrip(t *testing.T) {
+	g := Georeference{Lat0: 30, Lon0: 104}
+	lat, lon := ll(3000, 4000)
+	p := g.ToPlane(lat, lon)
+	if diff := p.X - 3000; diff > 1 || diff < -1 {
+		t.Fatalf("X = %v", p.X)
+	}
+	if diff := p.Y - 4000; diff > 1 || diff < -1 {
+		t.Fatalf("Y = %v", p.Y)
+	}
+}

@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"watter/internal/gridindex"
+)
+
+func TestProfilesBuild(t *testing.T) {
+	for _, p := range []Profile{NYC(), CDC(), XIA()} {
+		city := p.Build()
+		if city.Net.NumNodes() != p.W*p.H {
+			t.Fatalf("%s: nodes %d", p.Name, city.Net.NumNodes())
+		}
+		if p.HotspotShare <= p.DropoffHotspotShare {
+			t.Fatalf("%s: pickups must be more concentrated than dropoffs", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"nyc": "NYC", "NYC": "NYC", "cdc": "CDC", "Chengdu": "CDC", "xia": "XIA", "Xian": "XIA",
+	} {
+		p, err := ByName(name)
+		if err != nil || p.Name != want {
+			t.Fatalf("ByName(%q) = %v, %v", name, p.Name, err)
+		}
+	}
+	if _, err := ByName(""); err == nil {
+		t.Fatal("empty name must error")
+	}
+	if _, err := ByName("atlantis"); err == nil {
+		t.Fatal("unknown city must error")
+	}
+}
+
+func TestOrdersAreValidAndDeterministic(t *testing.T) {
+	city := CDC().Build()
+	cfg := WorkloadConfig{Orders: 500, Seed: 42}
+	a := city.Orders(cfg)
+	b := city.Orders(cfg)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lens %d/%d", len(a), len(b))
+	}
+	for i, o := range a {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("invalid order: %v", err)
+		}
+		if o.Pickup == o.Dropoff {
+			t.Fatalf("degenerate order %d", o.ID)
+		}
+		if o.DirectCost != city.Net.Cost(o.Pickup, o.Dropoff) {
+			t.Fatalf("direct cost mismatch on %d", o.ID)
+		}
+		// Defaults: tau=1.6, eta=0.8.
+		if math.Abs(o.Deadline-(o.Release+1.6*o.DirectCost)) > 1e-9 {
+			t.Fatalf("deadline default wrong on %d", o.ID)
+		}
+		if math.Abs(o.WaitLimit-0.8*o.DirectCost) > 1e-9 {
+			t.Fatalf("wait limit default wrong on %d", o.ID)
+		}
+		if *o != *b[i] {
+			t.Fatalf("nondeterministic generation at %d", i)
+		}
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i].Release < a[j].Release }) {
+		t.Fatal("orders must be sorted by release")
+	}
+	last := a[len(a)-1].Release
+	if last <= 0 || last > 7200 {
+		t.Fatalf("releases outside horizon: %v", last)
+	}
+}
+
+func TestPickupConcentrationExceedsDropoff(t *testing.T) {
+	// The directional imbalance knob must be visible in the generated
+	// data: pickups concentrate in fewer cells than dropoffs.
+	city := NYC().Build()
+	orders := city.Orders(WorkloadConfig{Orders: 4000, Seed: 7})
+	ix := gridindex.New(city.Net, 10)
+	puCount := make([]float64, ix.NumCells())
+	doCount := make([]float64, ix.NumCells())
+	for _, o := range orders {
+		puCount[ix.CellOf(o.Pickup)]++
+		doCount[ix.CellOf(o.Dropoff)]++
+	}
+	if herfindahl(puCount) <= herfindahl(doCount) {
+		t.Fatalf("pickup concentration %.4f <= dropoff %.4f",
+			herfindahl(puCount), herfindahl(doCount))
+	}
+}
+
+// herfindahl is the sum of squared shares: higher = more concentrated.
+func herfindahl(counts []float64) float64 {
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	var h float64
+	for _, c := range counts {
+		s := c / total
+		h += s * s
+	}
+	return h
+}
+
+func TestNYCMoreConcentratedThanXIA(t *testing.T) {
+	conc := func(p Profile) float64 {
+		city := p.Build()
+		orders := city.Orders(WorkloadConfig{Orders: 3000, Seed: 3})
+		ix := gridindex.New(city.Net, 10)
+		counts := make([]float64, ix.NumCells())
+		for _, o := range orders {
+			counts[ix.CellOf(o.Pickup)]++
+		}
+		return herfindahl(counts)
+	}
+	nyc, xia := conc(NYC()), conc(XIA())
+	if nyc <= xia {
+		t.Fatalf("NYC pickups (%.4f) must be more concentrated than XIA (%.4f)", nyc, xia)
+	}
+}
+
+func TestRushHourShapesArrivals(t *testing.T) {
+	// A window straddling the 17:00 CDC rush boundary: the second half
+	// (in-rush) must receive more arrivals than the first (off-peak).
+	city := CDC().Build()
+	orders := city.Orders(WorkloadConfig{
+		Orders: 4000, Seed: 5,
+		StartSeconds: 16.5 * 3600, HorizonSeconds: 7200, // 16:30-18:30
+	})
+	var early, late int
+	for _, o := range orders {
+		if o.Release < 3600 {
+			early++
+		} else {
+			late++
+		}
+	}
+	if late <= early {
+		t.Fatalf("rush hour not visible: early %d late %d", early, late)
+	}
+}
+
+func TestWorkersSampling(t *testing.T) {
+	city := XIA().Build()
+	ws := city.Workers(200, 5, 9)
+	if len(ws) != 200 {
+		t.Fatalf("len = %d", len(ws))
+	}
+	caps := map[int]int{}
+	for _, w := range ws {
+		if w.Capacity < 2 || w.Capacity > 5 {
+			t.Fatalf("capacity %d outside [2,5]", w.Capacity)
+		}
+		caps[w.Capacity]++
+		if int(w.Loc) < 0 || int(w.Loc) >= city.Net.NumNodes() {
+			t.Fatalf("worker loc %d off-network", w.Loc)
+		}
+	}
+	for c := 2; c <= 5; c++ {
+		if caps[c] == 0 {
+			t.Fatalf("no workers with capacity %d: %v", c, caps)
+		}
+	}
+	// Degenerate max capacity clamps to 2.
+	for _, w := range city.Workers(10, 1, 9) {
+		if w.Capacity != 2 {
+			t.Fatalf("clamped capacity = %d", w.Capacity)
+		}
+	}
+}
+
+func TestMaxRiders(t *testing.T) {
+	city := CDC().Build()
+	orders := city.Orders(WorkloadConfig{Orders: 500, Seed: 1, MaxRiders: 3})
+	seen := map[int]bool{}
+	for _, o := range orders {
+		if o.Riders < 1 || o.Riders > 3 {
+			t.Fatalf("riders %d", o.Riders)
+		}
+		seen[o.Riders] = true
+	}
+	if !seen[2] || !seen[3] {
+		t.Fatal("rider variety missing")
+	}
+}

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits sweep results as tidy rows (one row per algorithm ×
+// sweep-point) for external plotting: sweep, city, x, algorithm, the four
+// metrics and the raw served/rejected counts.
+func WriteCSV(w io.Writer, sweepID string, results []*Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"sweep", "city", "x", "algorithm",
+		"extra_time_s", "unified_cost", "service_rate", "running_time_s_per_order",
+		"served", "rejected", "avg_group_size",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		m := r.Metrics
+		row := []string{
+			sweepID,
+			r.Params.City.Name,
+			fmt.Sprintf("%g", r.X),
+			r.Alg,
+			fmt.Sprintf("%.3f", m.ExtraTime()),
+			fmt.Sprintf("%.3f", m.UnifiedCost()),
+			fmt.Sprintf("%.6f", m.ServiceRate()),
+			fmt.Sprintf("%.9f", m.RunningTime()),
+			fmt.Sprintf("%d", m.Served),
+			fmt.Sprintf("%d", m.Rejected),
+			fmt.Sprintf("%.4f", m.AvgGroupSize()),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,313 @@
+// Package exp is the experiment harness: it builds algorithms (including
+// the trained WATTER-expect pipeline), runs parameter sweeps for every
+// figure of the paper's evaluation (Figures 3-6 plus the appendix
+// parameters), and prints the resulting tables.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"watter/internal/baseline"
+	"watter/internal/core"
+	"watter/internal/dataset"
+	"watter/internal/gmm"
+	"watter/internal/gridindex"
+	"watter/internal/mdp"
+	"watter/internal/nn"
+	"watter/internal/order"
+	"watter/internal/pool"
+	"watter/internal/sim"
+	"watter/internal/strategy"
+)
+
+// Params is one experiment configuration point.
+type Params struct {
+	City      dataset.Profile
+	Orders    int     // n
+	Workers   int     // m
+	TauScale  float64 // deadline scale
+	Eta       float64 // watching window scale
+	MaxCap    int     // Kw
+	GridN     int     // spatial index side
+	TickEvery float64 // Δt
+	Seed      int64
+	// Train tunes the offline pipeline for WATTER-expect.
+	Train TrainParams
+}
+
+// TrainParams sizes the offline stage (historical simulation + learning).
+type TrainParams struct {
+	HistoricalOrders int
+	TrainSteps       int
+	GMMComponents    int
+	Omega            float64
+	Hidden           []int
+}
+
+// DefaultParams returns the scaled-down defaults used by the benchmark
+// harness. The paper's defaults are 100 K orders (NYC) / 50 K (CDC, XIA)
+// against 5 K workers over a day; we keep comparable fleet-pressure over a
+// compressed 2 h peak window at roughly 1/25 scale. Full scale is reachable
+// by raising Orders/Workers proportionally.
+func DefaultParams(city dataset.Profile) Params {
+	orders, workers := 2000, 170
+	if city.Name == "NYC" {
+		orders, workers = 3000, 220
+	}
+	return Params{
+		City: city, Orders: orders, Workers: workers, TauScale: 1.6, Eta: 0.8,
+		MaxCap: 4, GridN: 10, TickEvery: 10, Seed: 1,
+		Train: TrainParams{
+			HistoricalOrders: 1500, TrainSteps: 1200, GMMComponents: 3,
+			Omega: 0.5, Hidden: []int{64, 32},
+		},
+	}
+}
+
+// Result is one (algorithm, configuration) measurement.
+type Result struct {
+	Alg    string
+	Params Params
+	// X is the sweep's varied-parameter value for this cell.
+	X       float64
+	Metrics *sim.Metrics
+	Elapsed time.Duration
+}
+
+// AlgNames lists the five compared algorithms in the paper's order.
+var AlgNames = []string{"GDP", "GAS", "WATTER-expect", "WATTER-online", "WATTER-timeout"}
+
+// Runner caches trained models per (city, train-config) so sweeps don't
+// retrain for every point.
+type Runner struct {
+	models map[string]*Trained
+	// Out receives progress lines; nil silences them.
+	Out io.Writer
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner { return &Runner{models: make(map[string]*Trained)} }
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Out != nil {
+		fmt.Fprintf(r.Out, format, args...)
+	}
+}
+
+// Trained bundles the offline artifacts behind WATTER-expect. Net is the
+// value network used online; Trainer is non-nil only for freshly trained
+// models (bundles loaded from disk have no training state).
+type Trained struct {
+	Feat    *mdp.Featurizer
+	Net     *nn.MLP
+	Trainer *mdp.Trainer
+	GMM     *gmm.Model
+	Theta   *gmm.ThresholdSource
+}
+
+// Workload materializes the orders and workers for a configuration.
+func Workload(p Params) (*dataset.City, []*order.Order, []*order.Worker) {
+	city := p.City.Build()
+	orders := city.Orders(dataset.WorkloadConfig{
+		Orders: p.Orders, Seed: p.Seed, TauScale: p.TauScale, Eta: p.Eta,
+	})
+	workers := city.Workers(p.Workers, p.MaxCap, p.Seed+1000)
+	return city, orders, workers
+}
+
+// newEnv builds a simulation environment for the configuration.
+func newEnv(city *dataset.City, workers []*order.Worker, p Params) *sim.Env {
+	cfg := sim.DefaultConfig()
+	cfg.GridN = p.GridN
+	cfg.Capacity = p.MaxCap
+	return sim.NewEnv(city.Net, workers, cfg)
+}
+
+func poolOptions(p Params) pool.Options {
+	opt := pool.DefaultOptions()
+	opt.Capacity = p.MaxCap
+	opt.MaxGroupSize = p.MaxCap
+	return opt
+}
+
+// Train runs the offline stage for WATTER-expect on a *historical* workload
+// (a different seed/day than evaluation): simulate the pooling framework
+// under the timeout behavior policy, record served extra times for the GMM
+// fit, collect MDP experience, then optimize the value network with the
+// blended TD + target loss.
+func (r *Runner) Train(p Params) *Trained {
+	key := modelKey(p)
+	if m, ok := r.models[key]; ok {
+		return m
+	}
+	start := time.Now()
+	city := p.City.Build()
+	hist := city.Orders(dataset.WorkloadConfig{
+		Orders: p.Train.HistoricalOrders, Seed: p.Seed + 77, TauScale: p.TauScale, Eta: p.Eta,
+	})
+	workers := city.Workers(p.Workers, p.MaxCap, p.Seed+1077)
+	env := newEnv(city, workers, p)
+	feat := mdp.NewFeaturizer(env.Index, horizonOf(hist))
+	feat.SlotSeconds = p.TickEvery
+
+	// Pass 1: behavior run to harvest extra times for the GMM.
+	var extraTimes []float64
+	fw := core.New(strategy.Timeout{Tick: p.TickEvery}, poolOptions(p))
+	fw.Tick = p.TickEvery
+	env.SetObservers(func(g *order.Group, now float64) {
+		for _, v := range g.ExtraTimes(now, 1, 1) {
+			extraTimes = append(extraTimes, v)
+		}
+	}, nil)
+	opts := sim.RunOptions{TickEvery: p.TickEvery}
+	sim.Run(env, fw, hist, opts)
+
+	// Fit the extra-time mixture and derive θ*.
+	var model *gmm.Model
+	if len(extraTimes) >= 10 {
+		fitted, err := gmm.Fit(extraTimes, gmm.FitOptions{
+			K: p.Train.GMMComponents, MaxIters: 200, Tol: 1e-6, Seed: p.Seed, MinStdDev: 1,
+		})
+		if err == nil {
+			model = fitted
+		}
+	}
+	if model == nil {
+		model = &gmm.Model{Components: []gmm.Component{{Weight: 1, Mean: 120, StdDev: 60}}}
+	}
+	theta := gmm.NewThresholdSource(model)
+
+	// Pass 2: collect MDP experience under the GMM-threshold policy.
+	tcfg := mdp.DefaultTrainerConfig()
+	tcfg.Omega = p.Train.Omega
+	tcfg.Hidden = p.Train.Hidden
+	tcfg.Seed = p.Seed
+	trainer := mdp.NewTrainer(feat.Dim(), tcfg)
+	fw2 := core.New(&strategy.Threshold{Source: theta, Alpha: 1, Beta: 1}, poolOptions(p))
+	fw2.Tick = p.TickEvery
+	col := mdp.NewCollector(fw2, feat, theta, trainer.Add)
+	env2 := newEnv(city, city.Workers(p.Workers, p.MaxCap, p.Seed+1077), p)
+	sim.Run(env2, col, cloneOrders(hist), opts)
+
+	loss := trainer.Train(p.Train.TrainSteps)
+	r.logf("[train %s] samples=%d extra-times=%d loss=%.1f elapsed=%s\n",
+		p.City.Name, trainer.ReplayLen(), len(extraTimes), loss, time.Since(start).Round(time.Millisecond))
+
+	m := &Trained{Feat: feat, Net: trainer.Network(), Trainer: trainer, GMM: model, Theta: theta}
+	r.models[key] = m
+	return m
+}
+
+// modelKey identifies the offline-model cache entry for a configuration.
+// Every parameter that changes the offline artifacts must appear here —
+// the learning hyperparameters included, or ablation sweeps would silently
+// reuse one model.
+func modelKey(p Params) string {
+	return fmt.Sprintf("%s/n%d/m%d/tau%.2f/eta%.2f/k%d/g%d/dt%.0f/h%d/s%d/K%d/w%.3f/hid%v",
+		p.City.Name, p.Train.HistoricalOrders, p.Workers, p.TauScale, p.Eta,
+		p.MaxCap, p.GridN, p.TickEvery, p.Train.TrainSteps, p.Seed,
+		p.Train.GMMComponents, p.Train.Omega, p.Train.Hidden)
+}
+
+// UseModel pre-seeds the model cache so a later Build/RunOne of
+// WATTER-expect at these parameters uses the given (typically
+// disk-loaded) model instead of retraining.
+func (r *Runner) UseModel(p Params, m *Trained) { r.models[modelKey(p)] = m }
+
+// Build constructs a ready-to-run algorithm by name. WATTER-expect
+// triggers (cached) offline training.
+func (r *Runner) Build(name string, p Params) (sim.Algorithm, error) {
+	switch name {
+	case "GDP":
+		return &baseline.GDP{}, nil
+	case "GAS":
+		return &baseline.GAS{BatchSeconds: 5}, nil
+	case "WATTER-online":
+		fw := core.New(strategy.Online{}, poolOptions(p))
+		fw.Tick = p.TickEvery
+		return fw, nil
+	case "WATTER-timeout":
+		fw := core.New(strategy.Timeout{Tick: p.TickEvery}, poolOptions(p))
+		fw.Tick = p.TickEvery
+		return fw, nil
+	case "WATTER-expect":
+		trained := r.Train(p)
+		fw := core.New(nil, poolOptions(p))
+		fw.Tick = p.TickEvery
+		src := &mdp.ValueThresholdSource{
+			Net:  trained.Net,
+			Feat: trained.Feat,
+			Demand: func() (gridindex.Distribution, gridindex.Distribution) {
+				if fw.Pool() == nil {
+					return nil, nil
+				}
+				return fw.Pool().DemandDistributions()
+			},
+		}
+		fw.Decide = &strategy.Threshold{Source: src, Alpha: 1, Beta: 1}
+		return &expectAlg{Framework: fw, src: src}, nil
+	}
+	return nil, fmt.Errorf("exp: unknown algorithm %q", name)
+}
+
+// expectAlg wires the supply-distribution closure once the env exists.
+type expectAlg struct {
+	*core.Framework
+	src *mdp.ValueThresholdSource
+}
+
+// Init implements sim.Algorithm.
+func (a *expectAlg) Init(env *sim.Env) {
+	a.src.Supply = env.WIndex.SupplyDistribution
+	a.Framework.Init(env)
+}
+
+// MustBuild is Build for algorithm names known at compile time; it panics
+// on unknown names.
+func MustBuild(name string, p Params) sim.Algorithm {
+	alg, err := NewRunner().Build(name, p)
+	if err != nil {
+		panic(err)
+	}
+	return alg
+}
+
+// RunOne executes one (algorithm, params) cell and returns its result.
+func (r *Runner) RunOne(name string, p Params) (*Result, error) {
+	alg, err := r.Build(name, p)
+	if err != nil {
+		return nil, err
+	}
+	city, orders, workers := Workload(p)
+	env := newEnv(city, workers, p)
+	start := time.Now()
+	metrics := sim.Run(env, alg, orders, sim.RunOptions{TickEvery: p.TickEvery, MeasureTime: true})
+	res := &Result{Alg: name, Params: p, Metrics: metrics, Elapsed: time.Since(start)}
+	r.logf("[%s %s] n=%d m=%d tau=%.1f: %s\n", p.City.Name, name, p.Orders, p.Workers, p.TauScale, metrics)
+	return res, nil
+}
+
+func horizonOf(orders []*order.Order) float64 {
+	var h float64
+	for _, o := range orders {
+		if o.Release > h {
+			h = o.Release
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// cloneOrders deep-copies orders so two runs never share mutable state.
+func cloneOrders(orders []*order.Order) []*order.Order {
+	out := make([]*order.Order, len(orders))
+	for i, o := range orders {
+		c := *o
+		out[i] = &c
+	}
+	return out
+}

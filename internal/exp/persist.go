@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"watter/internal/gmm"
+	"watter/internal/gridindex"
+	"watter/internal/mdp"
+	"watter/internal/nn"
+	"watter/internal/roadnet"
+)
+
+// trainedSnapshot is the gob wire form of a Trained bundle. The value
+// network travels as its own gob blob (nn owns its encoding); featurizer
+// geometry is stored as plain parameters and rebound to a network at load
+// time.
+type trainedSnapshot struct {
+	GridN          int
+	SlotSeconds    float64
+	HorizonSeconds float64
+	MaxWaitSlots   float64
+	GMM            []gmm.Component
+	Net            []byte
+}
+
+// Save serializes the trained WATTER-expect artifacts (featurizer
+// geometry, GMM, value-network weights) so a model trained by wattertrain
+// can be reloaded without re-simulating.
+func (t *Trained) Save(w io.Writer) error {
+	var netBuf bytes.Buffer
+	if err := t.Net.Save(&netBuf); err != nil {
+		return fmt.Errorf("exp: save network: %w", err)
+	}
+	snap := trainedSnapshot{
+		GridN:          t.Feat.Index.N(),
+		SlotSeconds:    t.Feat.SlotSeconds,
+		HorizonSeconds: t.Feat.HorizonSeconds,
+		MaxWaitSlots:   t.Feat.MaxWaitSlots,
+		GMM:            t.GMM.Components,
+		Net:            netBuf.Bytes(),
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadTrained reads a bundle written by Trained.Save and rebinds it to the
+// given network (the grid index is a function of the network bounds, so
+// the model must be loaded against the same city geometry it was trained
+// on; a dimension check enforces that). The returned Trained has no
+// Trainer: it is an inference-only model.
+func LoadTrained(r io.Reader, net roadnet.Network) (*Trained, error) {
+	var snap trainedSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("exp: load: %w", err)
+	}
+	if snap.GridN <= 0 || len(snap.Net) == 0 {
+		return nil, fmt.Errorf("exp: load: corrupt bundle")
+	}
+	ix := gridindex.New(net, snap.GridN)
+	feat := &mdp.Featurizer{
+		Index:          ix,
+		SlotSeconds:    snap.SlotSeconds,
+		HorizonSeconds: snap.HorizonSeconds,
+		MaxWaitSlots:   snap.MaxWaitSlots,
+	}
+	mlp, err := nn.Load(bytes.NewReader(snap.Net))
+	if err != nil {
+		return nil, err
+	}
+	if mlp.Sizes()[0] != feat.Dim() {
+		return nil, fmt.Errorf("exp: load: model expects %d-dim states, city gives %d (wrong city geometry?)",
+			mlp.Sizes()[0], feat.Dim())
+	}
+	model := &gmm.Model{Components: snap.GMM}
+	return &Trained{Feat: feat, Net: mlp, GMM: model, Theta: gmm.NewThresholdSource(model)}, nil
+}

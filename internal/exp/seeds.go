@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"watter/internal/stats"
+)
+
+// MetricSummaries maps metric name -> cross-seed summary.
+type MetricSummaries map[string]stats.Summary
+
+// RunSeeds runs one (algorithm, params) cell across several workload seeds
+// and summarizes the four paper metrics, so reported numbers carry
+// variance instead of a single draw.
+func (r *Runner) RunSeeds(name string, p Params, seeds []int64) (MetricSummaries, error) {
+	series := map[string][]float64{}
+	for _, seed := range seeds {
+		ps := p
+		ps.Seed = seed
+		res, err := r.RunOne(name, ps)
+		if err != nil {
+			return nil, err
+		}
+		m := res.Metrics
+		series["extra_time"] = append(series["extra_time"], m.ExtraTime())
+		series["unified_cost"] = append(series["unified_cost"], m.UnifiedCost())
+		series["service_rate"] = append(series["service_rate"], m.ServiceRate())
+		series["running_time"] = append(series["running_time"], m.RunningTime())
+	}
+	out := make(MetricSummaries, len(series))
+	for k, xs := range series {
+		out[k] = stats.Summarize(xs)
+	}
+	return out, nil
+}

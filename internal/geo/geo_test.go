@@ -1,0 +1,74 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, 5}
+	if got := p.Add(q); got != (Point{4, 7}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != (Point{2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if got := p.Euclid(q); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Euclid = %v", got)
+	}
+	if got := p.Manhattan(q); math.Abs(got-7) > 1e-12 {
+		t.Errorf("Manhattan = %v", got)
+	}
+}
+
+func TestManhattanDominatesEuclid(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		if math.Abs(ax) > 1e100 || math.Abs(ay) > 1e100 || math.Abs(bx) > 1e100 || math.Abs(by) > 1e100 {
+			return true // avoid overflow noise
+		}
+		a := Point{ax, ay}
+		b := Point{bx, by}
+		return a.Manhattan(b) >= a.Euclid(b)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{10, 5}}
+	if r.Width() != 10 || r.Height() != 5 {
+		t.Fatalf("dims = %v x %v", r.Width(), r.Height())
+	}
+	if !r.Contains(Point{10, 5}) || !r.Contains(Point{0, 0}) {
+		t.Fatal("edges must be inclusive")
+	}
+	if r.Contains(Point{-0.1, 0}) || r.Contains(Point{3, 6}) {
+		t.Fatal("contains outside point")
+	}
+	if got := r.Clamp(Point{-3, 99}); got != (Point{0, 5}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+	if got := r.Clamp(Point{4, 4}); got != (Point{4, 4}) {
+		t.Fatalf("Clamp of inside point = %v", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if Lerp(2, 10, 0) != 2 || Lerp(2, 10, 1) != 10 || Lerp(2, 10, 0.5) != 6 {
+		t.Fatal("Lerp wrong")
+	}
+}

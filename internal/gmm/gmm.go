@@ -1,0 +1,236 @@
+// Package gmm implements the distribution-fitting half of WATTER's
+// threshold derivation (paper Section V-C): a one-dimensional Gaussian
+// Mixture Model fitted with Expectation-Maximization over historical extra
+// times, its CDF F, and the optimizer that picks the expected threshold
+// θ* = argmax (p - θ)·F(θ) for each order (Algorithm 3).
+package gmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Component is a single weighted Gaussian.
+type Component struct {
+	Weight float64
+	Mean   float64
+	StdDev float64
+}
+
+// Model is a mixture of Gaussians over a scalar random variable.
+type Model struct {
+	Components []Component
+}
+
+// FitOptions controls the EM fit.
+type FitOptions struct {
+	// K is the number of mixture components (paper-style default 3).
+	K int
+	// MaxIters bounds EM iterations.
+	MaxIters int
+	// Tol stops EM when the log-likelihood improves by less than this.
+	Tol float64
+	// Seed makes the k-means-style initialization deterministic.
+	Seed int64
+	// MinStdDev floors component spread to keep the CDF well conditioned.
+	MinStdDev float64
+}
+
+// DefaultFitOptions returns K=3, 200 iterations, 1e-6 tolerance.
+func DefaultFitOptions() FitOptions {
+	return FitOptions{K: 3, MaxIters: 200, Tol: 1e-6, Seed: 1, MinStdDev: 1e-3}
+}
+
+// Fit runs EM on the samples and returns the fitted mixture.
+func Fit(samples []float64, opt FitOptions) (*Model, error) {
+	if opt.K <= 0 {
+		opt.K = 3
+	}
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = 200
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-6
+	}
+	if opt.MinStdDev <= 0 {
+		opt.MinStdDev = 1e-3
+	}
+	if len(samples) == 0 {
+		return nil, errors.New("gmm: no samples")
+	}
+	if len(samples) < opt.K {
+		opt.K = len(samples)
+	}
+	for _, x := range samples {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("gmm: invalid sample %v", x)
+		}
+	}
+
+	comps := initComponents(samples, opt)
+	n := len(samples)
+	k := len(comps)
+	resp := make([]float64, n*k)
+	prevLL := math.Inf(-1)
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		// E-step: responsibilities and log-likelihood.
+		var ll float64
+		for i, x := range samples {
+			var sum float64
+			for j, c := range comps {
+				v := c.Weight * gaussPDF(x, c.Mean, c.StdDev)
+				resp[i*k+j] = v
+				sum += v
+			}
+			if sum <= 0 {
+				// Degenerate point: spread responsibility uniformly.
+				for j := range comps {
+					resp[i*k+j] = 1 / float64(k)
+				}
+				sum = 1
+				ll += math.Log(1e-300)
+			} else {
+				for j := range comps {
+					resp[i*k+j] /= sum
+				}
+				ll += math.Log(sum)
+			}
+		}
+		// M-step.
+		for j := range comps {
+			var nk, mean float64
+			for i, x := range samples {
+				nk += resp[i*k+j]
+				mean += resp[i*k+j] * x
+			}
+			if nk < 1e-10 {
+				// Dead component: re-seed on a random sample.
+				rng := rand.New(rand.NewSource(opt.Seed + int64(iter*k+j)))
+				comps[j] = Component{Weight: 1 / float64(k), Mean: samples[rng.Intn(n)], StdDev: stddevAll(samples)}
+				continue
+			}
+			mean /= nk
+			var vr float64
+			for i, x := range samples {
+				d := x - mean
+				vr += resp[i*k+j] * d * d
+			}
+			sd := math.Sqrt(vr / nk)
+			if sd < opt.MinStdDev {
+				sd = opt.MinStdDev
+			}
+			comps[j] = Component{Weight: nk / float64(n), Mean: mean, StdDev: sd}
+		}
+		if ll-prevLL < opt.Tol && iter > 0 {
+			break
+		}
+		prevLL = ll
+	}
+	normalizeWeights(comps)
+	return &Model{Components: comps}, nil
+}
+
+// initComponents seeds means on sorted-quantile centers (deterministic,
+// k-means++-ish spread without randomness in the common path).
+func initComponents(samples []float64, opt FitOptions) []Component {
+	k := opt.K
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	sd := stddevAll(samples)
+	if sd < opt.MinStdDev {
+		sd = opt.MinStdDev
+	}
+	comps := make([]Component, k)
+	for j := 0; j < k; j++ {
+		q := (float64(j) + 0.5) / float64(k)
+		comps[j] = Component{
+			Weight: 1 / float64(k),
+			Mean:   s[int(q*float64(len(s)-1))],
+			StdDev: sd,
+		}
+	}
+	return comps
+}
+
+func normalizeWeights(comps []Component) {
+	var sum float64
+	for _, c := range comps {
+		sum += c.Weight
+	}
+	if sum <= 0 {
+		for j := range comps {
+			comps[j].Weight = 1 / float64(len(comps))
+		}
+		return
+	}
+	for j := range comps {
+		comps[j].Weight /= sum
+	}
+}
+
+func stddevAll(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 1
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var vr float64
+	for _, x := range xs {
+		d := x - mean
+		vr += d * d
+	}
+	return math.Sqrt(vr / float64(len(xs)))
+}
+
+func gaussPDF(x, mu, sd float64) float64 {
+	z := (x - mu) / sd
+	return math.Exp(-0.5*z*z) / (sd * math.Sqrt2 * math.SqrtPi)
+}
+
+// PDF evaluates the mixture density at x.
+func (m *Model) PDF(x float64) float64 {
+	var p float64
+	for _, c := range m.Components {
+		p += c.Weight * gaussPDF(x, c.Mean, c.StdDev)
+	}
+	return p
+}
+
+// CDF evaluates the mixture cumulative distribution F(x).
+func (m *Model) CDF(x float64) float64 {
+	var p float64
+	for _, c := range m.Components {
+		z := (x - c.Mean) / (c.StdDev * math.Sqrt2)
+		p += c.Weight * 0.5 * (1 + math.Erf(z))
+	}
+	return p
+}
+
+// Mean returns the mixture mean.
+func (m *Model) Mean() float64 {
+	var mu float64
+	for _, c := range m.Components {
+		mu += c.Weight * c.Mean
+	}
+	return mu
+}
+
+// LogLikelihood evaluates the total log-likelihood of samples under m.
+func (m *Model) LogLikelihood(samples []float64) float64 {
+	var ll float64
+	for _, x := range samples {
+		p := m.PDF(x)
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		ll += math.Log(p)
+	}
+	return ll
+}

@@ -1,0 +1,123 @@
+// Package gridindex implements the n-by-n spatial grid the paper uses both
+// as a search accelerator ("grid index to speed up workers and riders
+// search", Section VII-A) and as the quantization behind the MDP state's
+// location features (Section VI-A).
+package gridindex
+
+import (
+	"math"
+
+	"watter/internal/geo"
+	"watter/internal/roadnet"
+)
+
+// Index partitions the network's bounding box into N x N uniform cells.
+type Index struct {
+	net    roadnet.Network
+	n      int
+	bounds geo.Rect
+	cellW  float64
+	cellH  float64
+}
+
+// New builds an index with n cells per side over the network's bounds.
+func New(net roadnet.Network, n int) *Index {
+	if n < 1 {
+		panic("gridindex: n must be >= 1")
+	}
+	b := net.Bounds()
+	w := b.Width()
+	h := b.Height()
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	return &Index{net: net, n: n, bounds: b, cellW: w / float64(n), cellH: h / float64(n)}
+}
+
+// N returns the per-side cell count.
+func (ix *Index) N() int { return ix.n }
+
+// NumCells returns N*N.
+func (ix *Index) NumCells() int { return ix.n * ix.n }
+
+// CellOfPoint returns the cell id of a planar point (clamped to bounds).
+func (ix *Index) CellOfPoint(p geo.Point) int {
+	p = ix.bounds.Clamp(p)
+	cx := int((p.X - ix.bounds.Min.X) / ix.cellW)
+	cy := int((p.Y - ix.bounds.Min.Y) / ix.cellH)
+	if cx >= ix.n {
+		cx = ix.n - 1
+	}
+	if cy >= ix.n {
+		cy = ix.n - 1
+	}
+	return cy*ix.n + cx
+}
+
+// CellOf returns the cell id of a road-network node.
+func (ix *Index) CellOf(node geo.NodeID) int {
+	return ix.CellOfPoint(ix.net.Coord(node))
+}
+
+// CellXY splits a cell id into column and row.
+func (ix *Index) CellXY(cell int) (x, y int) { return cell % ix.n, cell / ix.n }
+
+// CellDist returns the Chebyshev ring distance between two cells; ring
+// expansion during nearest-worker search enumerates cells by this distance.
+func (ix *Index) CellDist(a, b int) int {
+	ax, ay := ix.CellXY(a)
+	bx, by := ix.CellXY(b)
+	dx := math.Abs(float64(ax - bx))
+	dy := math.Abs(float64(ay - by))
+	return int(math.Max(dx, dy))
+}
+
+// Ring calls fn for every cell at exactly Chebyshev distance d from the
+// center cell, skipping out-of-range cells. fn returning false stops the
+// walk early; Ring reports whether the walk ran to completion.
+func (ix *Index) Ring(center, d int, fn func(cell int) bool) bool {
+	cx, cy := ix.CellXY(center)
+	if d == 0 {
+		return fn(center)
+	}
+	for x := cx - d; x <= cx+d; x++ {
+		for y := cy - d; y <= cy+d; y++ {
+			if x < 0 || y < 0 || x >= ix.n || y >= ix.n {
+				continue
+			}
+			if x != cx-d && x != cx+d && y != cy-d && y != cy+d {
+				continue // interior of the ring
+			}
+			if !fn(y*ix.n + x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Distribution is a normalized histogram over cells; the MDP state's demand
+// (sO) and supply (sW) vectors are Distributions.
+type Distribution []float64
+
+// NewDistribution allocates a zero histogram for the index.
+func (ix *Index) NewDistribution() Distribution {
+	return make(Distribution, ix.NumCells())
+}
+
+// Normalize scales the histogram to sum to 1 (no-op for an all-zero vector).
+func (d Distribution) Normalize() {
+	var sum float64
+	for _, v := range d {
+		sum += v
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range d {
+		d[i] /= sum
+	}
+}

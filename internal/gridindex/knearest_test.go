@@ -1,0 +1,74 @@
+package gridindex
+
+import (
+	"testing"
+
+	"watter/internal/order"
+)
+
+func TestKNearestOrderingAndBound(t *testing.T) {
+	net := testNet()
+	ix := New(net, 10)
+	var workers []*order.Worker
+	for i := 0; i < 30; i++ {
+		workers = append(workers, &order.Worker{
+			ID: i + 1, Loc: net.Node((i*3)%20, (i*7)%20), Capacity: 4,
+		})
+	}
+	wi := NewWorkerIndex(ix, net, workers)
+	target := net.Node(10, 10)
+	got := wi.KNearest(target, 5, nil)
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if net.Cost(got[i-1].Loc, target) > net.Cost(got[i].Loc, target) {
+			t.Fatalf("not sorted by cost at %d", i)
+		}
+	}
+	// The K nearest must not be farther than any excluded worker by more
+	// than the one-ring approximation slack (one cell diagonal).
+	worstKept := net.Cost(got[len(got)-1].Loc, target)
+	slack := 2 * 2 * 100.0 / 10 // 2 cells of 2 nodes, 100 m, 10 m/s
+	for _, w := range workers {
+		kept := false
+		for _, g := range got {
+			if g.ID == w.ID {
+				kept = true
+			}
+		}
+		if !kept && net.Cost(w.Loc, target)+slack < worstKept {
+			t.Fatalf("worker %d (cost %v) excluded but much closer than kept %v",
+				w.ID, net.Cost(w.Loc, target), worstKept)
+		}
+	}
+}
+
+func TestKNearestPredicate(t *testing.T) {
+	net := testNet()
+	ix := New(net, 10)
+	workers := []*order.Worker{
+		{ID: 1, Loc: net.Node(10, 10), Capacity: 2},
+		{ID: 2, Loc: net.Node(11, 10), Capacity: 4},
+		{ID: 3, Loc: net.Node(12, 10), Capacity: 4},
+	}
+	wi := NewWorkerIndex(ix, net, workers)
+	got := wi.KNearest(net.Node(10, 10), 3, func(w *order.Worker) bool {
+		return w.Capacity >= 4
+	})
+	if len(got) != 2 {
+		t.Fatalf("predicate ignored: %d workers", len(got))
+	}
+	for _, w := range got {
+		if w.Capacity < 4 {
+			t.Fatalf("predicate violated by worker %d", w.ID)
+		}
+	}
+	if got := wi.KNearest(net.Node(0, 0), 0, nil); got != nil {
+		t.Fatalf("k=0 must return nil, got %v", got)
+	}
+	// Asking for more than exist returns all.
+	if got := wi.KNearest(net.Node(0, 0), 99, nil); len(got) != 3 {
+		t.Fatalf("k>len returned %d", len(got))
+	}
+}

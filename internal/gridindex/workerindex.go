@@ -1,0 +1,169 @@
+package gridindex
+
+import (
+	"sort"
+
+	"watter/internal/geo"
+	"watter/internal/order"
+	"watter/internal/roadnet"
+)
+
+// WorkerIndex tracks workers by grid cell and answers "closest idle worker
+// to node X at time T" queries with expanding ring search, the standard
+// grid-accelerated dispatch lookup the paper adopts from prior studies.
+type WorkerIndex struct {
+	ix      *Index
+	net     roadnet.Network
+	cells   [][]*order.Worker // cell id -> workers whose Loc falls in it
+	cellOf  map[int]int       // worker id -> cell id
+	workers map[int]*order.Worker
+}
+
+// NewWorkerIndex indexes the given workers.
+func NewWorkerIndex(ix *Index, net roadnet.Network, workers []*order.Worker) *WorkerIndex {
+	wi := &WorkerIndex{
+		ix:      ix,
+		net:     net,
+		cells:   make([][]*order.Worker, ix.NumCells()),
+		cellOf:  make(map[int]int, len(workers)),
+		workers: make(map[int]*order.Worker, len(workers)),
+	}
+	for _, w := range workers {
+		wi.insert(w)
+	}
+	return wi
+}
+
+func (wi *WorkerIndex) insert(w *order.Worker) {
+	c := wi.ix.CellOf(w.Loc)
+	wi.cells[c] = append(wi.cells[c], w)
+	wi.cellOf[w.ID] = c
+	wi.workers[w.ID] = w
+}
+
+// Update must be called after a worker's Loc changes (e.g. after it
+// finishes a route at a new drop-off point).
+func (wi *WorkerIndex) Update(w *order.Worker) {
+	old, ok := wi.cellOf[w.ID]
+	if !ok {
+		wi.insert(w)
+		return
+	}
+	nc := wi.ix.CellOf(w.Loc)
+	if nc == old {
+		return
+	}
+	bucket := wi.cells[old]
+	for i, ww := range bucket {
+		if ww.ID == w.ID {
+			bucket[i] = bucket[len(bucket)-1]
+			wi.cells[old] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	wi.cells[nc] = append(wi.cells[nc], w)
+	wi.cellOf[w.ID] = nc
+}
+
+// ClosestIdle returns the idle worker (FreeAt <= now) with at least
+// minCapacity seats whose travel time to node is smallest, or nil when no
+// worker qualifies. Ring search expands outward from the node's cell and
+// stops one ring after the first hit (a further ring cannot contain a
+// closer worker only approximately, so one extra ring is scanned to absorb
+// grid/metric mismatch).
+func (wi *WorkerIndex) ClosestIdle(node geo.NodeID, now float64, minCapacity int) *order.Worker {
+	center := wi.ix.CellOf(node)
+	var best *order.Worker
+	bestCost := 0.0
+	consider := func(cell int) bool {
+		for _, w := range wi.cells[cell] {
+			if !w.IdleAt(now) || w.Capacity < minCapacity {
+				continue
+			}
+			c := wi.net.Cost(w.Loc, node)
+			if best == nil || c < bestCost || (c == bestCost && w.ID < best.ID) {
+				best = w
+				bestCost = c
+			}
+		}
+		return true
+	}
+	maxD := wi.ix.N() // worst case scans every cell
+	foundAt := -1
+	for d := 0; d <= maxD; d++ {
+		wi.ix.Ring(center, d, consider)
+		if best != nil && foundAt < 0 {
+			foundAt = d
+		}
+		if foundAt >= 0 && d >= foundAt+1 {
+			break
+		}
+	}
+	return best
+}
+
+// KNearest returns up to k workers passing pred, ordered by increasing
+// travel time from their location to node. The ring search scans outward
+// and stops once it has k hits and one extra ring (grid distance only
+// approximates travel time).
+func (wi *WorkerIndex) KNearest(node geo.NodeID, k int, pred func(*order.Worker) bool) []*order.Worker {
+	if k <= 0 {
+		return nil
+	}
+	center := wi.ix.CellOf(node)
+	type cand struct {
+		w    *order.Worker
+		cost float64
+	}
+	var cands []cand
+	foundAt := -1
+	for d := 0; d <= wi.ix.N(); d++ {
+		wi.ix.Ring(center, d, func(cell int) bool {
+			for _, w := range wi.cells[cell] {
+				if pred != nil && !pred(w) {
+					continue
+				}
+				cands = append(cands, cand{w, wi.net.Cost(w.Loc, node)})
+			}
+			return true
+		})
+		if len(cands) >= k && foundAt < 0 {
+			foundAt = d
+		}
+		if foundAt >= 0 && d >= foundAt+1 {
+			break
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return cands[i].w.ID < cands[j].w.ID
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]*order.Worker, len(cands))
+	for i, c := range cands {
+		out[i] = c.w
+	}
+	return out
+}
+
+// SupplyDistribution returns the normalized spatial distribution of idle
+// workers at time now (the MDP state's sW vector).
+func (wi *WorkerIndex) SupplyDistribution(now float64) Distribution {
+	d := wi.ix.NewDistribution()
+	for cell, ws := range wi.cells {
+		for _, w := range ws {
+			if w.IdleAt(now) {
+				d[cell]++
+			}
+		}
+	}
+	d.Normalize()
+	return d
+}
+
+// Len returns the number of indexed workers.
+func (wi *WorkerIndex) Len() int { return len(wi.workers) }

@@ -1,0 +1,162 @@
+package mdp
+
+import (
+	"watter/internal/core"
+	"watter/internal/gridindex"
+	"watter/internal/order"
+	"watter/internal/sim"
+	"watter/internal/strategy"
+)
+
+// Collector wraps the WATTER framework to generate off-policy training
+// experience (paper Section VI-B): it simulates the dispatch process under
+// a behavior strategy (typically the GMM-threshold strategy), snapshots
+// every pooled order's state at each periodic check, and emits wait /
+// dispatch / expire transitions into the trainer's replay memory.
+type Collector struct {
+	Inner *core.Framework
+	Feat  *Featurizer
+	// Theta supplies θ*(p) for the target loss (the Algorithm 3 output).
+	Theta strategy.ThresholdSource
+	// Emit receives finished transitions.
+	Emit func(Experience)
+
+	env   *sim.Env
+	snaps map[int][]snapshot
+}
+
+type snapshot struct {
+	state []float64
+	time  float64
+}
+
+// NewCollector wires a framework, featurizer and threshold source.
+func NewCollector(inner *core.Framework, feat *Featurizer, theta strategy.ThresholdSource, emit func(Experience)) *Collector {
+	return &Collector{Inner: inner, Feat: feat, Theta: theta, Emit: emit}
+}
+
+// Name implements sim.Algorithm.
+func (c *Collector) Name() string { return c.Inner.Name() + "+collect" }
+
+// Init implements sim.Algorithm.
+func (c *Collector) Init(env *sim.Env) {
+	c.env = env
+	c.snaps = make(map[int][]snapshot)
+	env.SetObservers(c.onServe, c.onReject)
+	c.Inner.Init(env)
+}
+
+// OnOrder implements sim.Algorithm: record the initial state s0, then
+// delegate.
+func (c *Collector) OnOrder(o *order.Order, now float64) {
+	c.snaps[o.ID] = []snapshot{{state: c.features(o, now), time: now}}
+	c.Inner.OnOrder(o, now)
+}
+
+// OnTick implements sim.Algorithm: delegate (dispatches happen inside),
+// then snapshot the survivors' new states.
+func (c *Collector) OnTick(now float64) {
+	c.Inner.OnTick(now)
+	pool := c.Inner.Pool()
+	for _, id := range pool.OrderIDs() {
+		o := pool.Order(id)
+		c.snaps[id] = append(c.snaps[id], snapshot{state: c.features(o, now), time: now})
+	}
+}
+
+// Finish implements sim.Algorithm.
+func (c *Collector) Finish(now float64) {
+	c.Inner.Finish(now)
+	// Anything never resolved (shouldn't happen — Finish rejects) is
+	// dropped silently.
+	c.snaps = map[int][]snapshot{}
+}
+
+func (c *Collector) features(o *order.Order, now float64) []float64 {
+	var pu, do, supply gridindex.Distribution
+	if p := c.Inner.Pool(); p != nil {
+		pu, do = p.DemandDistributions()
+	}
+	if c.env != nil {
+		supply = c.env.WIndex.SupplyDistribution(now)
+	}
+	return c.Feat.Features(o, now, pu, do, supply)
+}
+
+// onServe finalizes a dispatched order's episode: wait transitions between
+// consecutive snapshots, then a terminal dispatch with reward p - t_d.
+func (c *Collector) onServe(g *order.Group, now float64) {
+	for _, o := range g.Orders {
+		snaps := c.snaps[o.ID]
+		if len(snaps) == 0 {
+			continue
+		}
+		detour := 0.0
+		if g.Plan != nil {
+			if st, ok := g.Plan.ServiceTime(o.ID); ok {
+				detour = st - o.DirectCost
+			}
+		}
+		c.emitWaits(o, snaps)
+		last := snaps[len(snaps)-1]
+		c.Emit(Experience{
+			State:     last.state,
+			Act:       Dispatch,
+			Reward:    o.Penalty() - detour,
+			Penalty:   o.Penalty(),
+			ThetaStar: c.theta(o, now),
+		})
+		delete(c.snaps, o.ID)
+	}
+}
+
+// onReject finalizes an expired order's episode: waits, then a terminal
+// expired wait with reward -Δt.
+func (c *Collector) onReject(o *order.Order, now float64) {
+	snaps := c.snaps[o.ID]
+	if len(snaps) == 0 {
+		return
+	}
+	c.emitWaits(o, snaps)
+	last := snaps[len(snaps)-1]
+	dt := now - last.time
+	if dt <= 0 {
+		dt = c.Feat.SlotSeconds
+	}
+	c.Emit(Experience{
+		State:     last.state,
+		Act:       Wait,
+		Reward:    -dt,
+		Expired:   true,
+		Penalty:   o.Penalty(),
+		ThetaStar: c.theta(o, now),
+		Dt:        dt,
+	})
+	delete(c.snaps, o.ID)
+}
+
+// emitWaits emits the non-terminal wait transitions s_j -> s_{j+1}.
+func (c *Collector) emitWaits(o *order.Order, snaps []snapshot) {
+	for j := 0; j+1 < len(snaps); j++ {
+		dt := snaps[j+1].time - snaps[j].time
+		if dt <= 0 {
+			continue
+		}
+		c.Emit(Experience{
+			State:     snaps[j].state,
+			Act:       Wait,
+			Reward:    -dt,
+			Next:      snaps[j+1].state,
+			Penalty:   o.Penalty(),
+			ThetaStar: c.theta(o, snaps[j].time),
+			Dt:        dt,
+		})
+	}
+}
+
+func (c *Collector) theta(o *order.Order, now float64) float64 {
+	if c.Theta == nil {
+		return 0
+	}
+	return c.Theta.Threshold(o, now)
+}

@@ -1,0 +1,85 @@
+// Package mdp models WATTER's dispatch decisions as a Markov Decision
+// Process (paper Section VI): each pooled order is an agent whose state is
+// a spatio-temporal feature vector; a value network V(s), trained offline
+// on simulated experience with a weighted TD + target loss, estimates the
+// expected accumulated reward and hence the expected extra-time threshold
+// θ(i) = p(i) - V(s(i)).
+package mdp
+
+import (
+	"watter/internal/gridindex"
+	"watter/internal/order"
+)
+
+// Featurizer quantizes an order's spatio-temporal environment into the
+// state vector st = [sL, sT, sO, sW] (Section VI-A):
+//
+//	sL: pickup + dropoff region one-hots     (2·C dims)
+//	sT: release timeslot + waited slots      (2 dims, normalized)
+//	sO: pickup + dropoff demand histograms   (2·C dims)
+//	sW: idle-worker supply histogram         (C dims)
+//
+// where C is the number of grid cells.
+type Featurizer struct {
+	Index *gridindex.Index
+	// SlotSeconds is the time-quantization Δt (paper default 10 s).
+	SlotSeconds float64
+	// HorizonSeconds normalizes the release timeslot (length of the
+	// simulated period).
+	HorizonSeconds float64
+	// MaxWaitSlots normalizes the waited-slots feature.
+	MaxWaitSlots float64
+}
+
+// NewFeaturizer returns a featurizer with the paper's Δt = 10 s over the
+// given horizon.
+func NewFeaturizer(ix *gridindex.Index, horizon float64) *Featurizer {
+	return &Featurizer{Index: ix, SlotSeconds: 10, HorizonSeconds: horizon, MaxWaitSlots: 60}
+}
+
+// Dim returns the state vector length: 5·C + 2.
+func (f *Featurizer) Dim() int { return 5*f.Index.NumCells() + 2 }
+
+// Features builds the state vector for order o at time now given the
+// platform's current demand and supply distributions. Distributions may be
+// nil (zeros) — useful in unit tests.
+func (f *Featurizer) Features(o *order.Order, now float64, pickupDemand, dropoffDemand, supply gridindex.Distribution) []float64 {
+	c := f.Index.NumCells()
+	x := make([]float64, f.Dim())
+	// sL: one-hot pickup and dropoff regions.
+	x[f.Index.CellOf(o.Pickup)] = 1
+	x[c+f.Index.CellOf(o.Dropoff)] = 1
+	// sT: release timeslot and waited slots.
+	slot := 0.0
+	if f.HorizonSeconds > 0 {
+		slot = o.Release / f.HorizonSeconds
+		if slot > 1 {
+			slot = 1
+		}
+	}
+	waited := (now - o.Release) / f.SlotSeconds / f.MaxWaitSlots
+	if waited < 0 {
+		waited = 0
+	}
+	if waited > 1 {
+		waited = 1
+	}
+	x[2*c] = slot
+	x[2*c+1] = waited
+	// sO and sW.
+	copyDist(x[2*c+2:3*c+2], pickupDemand)
+	copyDist(x[3*c+2:4*c+2], dropoffDemand)
+	copyDist(x[4*c+2:5*c+2], supply)
+	return x
+}
+
+func copyDist(dst []float64, src gridindex.Distribution) {
+	if src == nil {
+		return
+	}
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	copy(dst[:n], src[:n])
+}

@@ -1,0 +1,43 @@
+package mdp
+
+import (
+	"watter/internal/gridindex"
+	"watter/internal/nn"
+	"watter/internal/order"
+)
+
+// ValueThresholdSource turns a trained value network into the online
+// threshold: θ(i) = p(i) - V(s(i, now)), clamped to [0, p(i)] (Section
+// VI-A: "we calculate θ(i) as p(i) - Vπ(s(i)_t)"). It is the
+// strategy.ThresholdSource behind WATTER-expect.
+type ValueThresholdSource struct {
+	Net  *nn.MLP
+	Feat *Featurizer
+	// Demand and Supply fetch the live platform distributions; either may
+	// be nil (zero features), which keeps the source usable before the
+	// simulation starts.
+	Demand func() (pickup, dropoff gridindex.Distribution)
+	Supply func(now float64) gridindex.Distribution
+}
+
+// Threshold implements strategy.ThresholdSource.
+func (v *ValueThresholdSource) Threshold(o *order.Order, now float64) float64 {
+	var pu, do, sw gridindex.Distribution
+	if v.Demand != nil {
+		pu, do = v.Demand()
+	}
+	if v.Supply != nil {
+		sw = v.Supply(now)
+	}
+	state := v.Feat.Features(o, now, pu, do, sw)
+	val := v.Net.Predict(state)
+	p := o.Penalty()
+	theta := p - val
+	if theta < 0 {
+		theta = 0
+	}
+	if theta > p {
+		theta = p
+	}
+	return theta
+}

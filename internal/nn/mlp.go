@@ -1,0 +1,269 @@
+// Package nn is a from-scratch dense neural network on the standard
+// library: an MLP with ReLU hidden activations and a linear output, trained
+// with Adam on mean-squared error. It is the function approximator behind
+// WATTER's state-value estimation (paper Section VI-B); at this problem's
+// scale a small MLP matches the role the paper's deep network plays.
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// MLP is a fully connected feedforward network.
+type MLP struct {
+	sizes []int
+	// weights[l][o*in+i] connects layer l input i to output o; biases[l][o].
+	weights [][]float64
+	biases  [][]float64
+
+	// Adam state (first/second moments), lazily allocated.
+	mW, vW [][]float64
+	mB, vB [][]float64
+	step   int
+}
+
+// New creates an MLP with the given layer sizes (at least input and
+// output). Weights use He initialization under a deterministic seed.
+func New(sizes []int, seed int64) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output sizes")
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			panic("nn: layer sizes must be positive")
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		scale := math.Sqrt(2 / float64(in))
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, make([]float64, out))
+	}
+	return m
+}
+
+// Sizes returns the layer sizes.
+func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.weights {
+		n += len(m.weights[l]) + len(m.biases[l])
+	}
+	return n
+}
+
+// Forward computes the network output for input x.
+func (m *MLP) Forward(x []float64) []float64 {
+	if len(x) != m.sizes[0] {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.sizes[0]))
+	}
+	act := x
+	last := len(m.weights) - 1
+	for l := range m.weights {
+		in, out := m.sizes[l], m.sizes[l+1]
+		next := make([]float64, out)
+		w := m.weights[l]
+		for o := 0; o < out; o++ {
+			s := m.biases[l][o]
+			row := w[o*in : (o+1)*in]
+			for i, v := range act {
+				s += row[i] * v
+			}
+			if l != last && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			next[o] = s
+		}
+		act = next
+	}
+	return act
+}
+
+// Predict returns the first output scalar (value networks have one output).
+func (m *MLP) Predict(x []float64) float64 { return m.Forward(x)[0] }
+
+// forwardAll runs Forward keeping all activations for backprop.
+func (m *MLP) forwardAll(x []float64) [][]float64 {
+	acts := make([][]float64, len(m.sizes))
+	acts[0] = x
+	last := len(m.weights) - 1
+	for l := range m.weights {
+		in, out := m.sizes[l], m.sizes[l+1]
+		next := make([]float64, out)
+		w := m.weights[l]
+		for o := 0; o < out; o++ {
+			s := m.biases[l][o]
+			row := w[o*in : (o+1)*in]
+			for i, v := range acts[l] {
+				s += row[i] * v
+			}
+			if l != last && s < 0 {
+				s = 0
+			}
+			next[o] = s
+		}
+		acts[l+1] = next
+	}
+	return acts
+}
+
+// TrainBatch performs one Adam step on mean-squared error between the first
+// output and the targets, and returns the batch MSE before the update.
+// Inputs beyond the first output unit (if any) are ignored in the loss.
+func (m *MLP) TrainBatch(xs [][]float64, targets []float64, lr float64) float64 {
+	if len(xs) == 0 || len(xs) != len(targets) {
+		panic("nn: batch size mismatch")
+	}
+	m.ensureAdam()
+	gradW := make([][]float64, len(m.weights))
+	gradB := make([][]float64, len(m.biases))
+	for l := range m.weights {
+		gradW[l] = make([]float64, len(m.weights[l]))
+		gradB[l] = make([]float64, len(m.biases[l]))
+	}
+	var loss float64
+	last := len(m.weights) - 1
+	for n, x := range xs {
+		acts := m.forwardAll(x)
+		out := acts[len(acts)-1]
+		diff := out[0] - targets[n]
+		loss += diff * diff
+		// Backprop: delta on output layer (linear): dL/dout = 2*diff / N.
+		delta := make([]float64, len(out))
+		delta[0] = 2 * diff / float64(len(xs))
+		for l := last; l >= 0; l-- {
+			in := m.sizes[l]
+			out := m.sizes[l+1]
+			w := m.weights[l]
+			var prevDelta []float64
+			if l > 0 {
+				prevDelta = make([]float64, in)
+			}
+			for o := 0; o < out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				gradB[l][o] += d
+				row := w[o*in : (o+1)*in]
+				grow := gradW[l][o*in : (o+1)*in]
+				for i, a := range acts[l] {
+					grow[i] += d * a
+					if l > 0 {
+						prevDelta[i] += d * row[i]
+					}
+				}
+			}
+			if l > 0 {
+				// ReLU derivative of the previous layer's outputs.
+				for i, a := range acts[l] {
+					if a <= 0 {
+						prevDelta[i] = 0
+					}
+				}
+				delta = prevDelta
+			}
+		}
+	}
+	m.adamStep(gradW, gradB, lr)
+	return loss / float64(len(xs))
+}
+
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+func (m *MLP) ensureAdam() {
+	if m.mW != nil {
+		return
+	}
+	alloc := func(shape [][]float64) [][]float64 {
+		out := make([][]float64, len(shape))
+		for i := range shape {
+			out[i] = make([]float64, len(shape[i]))
+		}
+		return out
+	}
+	m.mW, m.vW = alloc(m.weights), alloc(m.weights)
+	m.mB, m.vB = alloc(m.biases), alloc(m.biases)
+}
+
+func (m *MLP) adamStep(gradW, gradB [][]float64, lr float64) {
+	m.step++
+	c1 := 1 - math.Pow(adamBeta1, float64(m.step))
+	c2 := 1 - math.Pow(adamBeta2, float64(m.step))
+	update := func(w, g, mo, ve []float64) {
+		for i := range w {
+			mo[i] = adamBeta1*mo[i] + (1-adamBeta1)*g[i]
+			ve[i] = adamBeta2*ve[i] + (1-adamBeta2)*g[i]*g[i]
+			mhat := mo[i] / c1
+			vhat := ve[i] / c2
+			w[i] -= lr * mhat / (math.Sqrt(vhat) + adamEps)
+		}
+	}
+	for l := range m.weights {
+		update(m.weights[l], gradW[l], m.mW[l], m.vW[l])
+		update(m.biases[l], gradB[l], m.mB[l], m.vB[l])
+	}
+}
+
+// Clone returns a deep copy (weights only; fresh optimizer state). Used for
+// target networks.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{sizes: append([]int(nil), m.sizes...)}
+	for l := range m.weights {
+		c.weights = append(c.weights, append([]float64(nil), m.weights[l]...))
+		c.biases = append(c.biases, append([]float64(nil), m.biases[l]...))
+	}
+	return c
+}
+
+// CopyWeightsFrom overwrites this network's weights with src's (the
+// "delayed copy" step that refreshes a target network).
+func (m *MLP) CopyWeightsFrom(src *MLP) {
+	if len(m.sizes) != len(src.sizes) {
+		panic("nn: architecture mismatch")
+	}
+	for l := range m.weights {
+		copy(m.weights[l], src.weights[l])
+		copy(m.biases[l], src.biases[l])
+	}
+}
+
+// snapshot is the gob-serializable form of MLP.
+type snapshot struct {
+	Sizes   []int
+	Weights [][]float64
+	Biases  [][]float64
+}
+
+// Save writes the network weights to w (gob encoding).
+func (m *MLP) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(snapshot{m.sizes, m.weights, m.biases})
+}
+
+// Load reads a network previously written with Save.
+func Load(r io.Reader) (*MLP, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if len(s.Sizes) < 2 || len(s.Weights) != len(s.Sizes)-1 || len(s.Biases) != len(s.Sizes)-1 {
+		return nil, fmt.Errorf("nn: load: corrupt snapshot")
+	}
+	return &MLP{sizes: s.Sizes, weights: s.Weights, biases: s.Biases}, nil
+}

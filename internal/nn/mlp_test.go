@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardShapeAndDeterminism(t *testing.T) {
+	m := New([]int{4, 8, 1}, 1)
+	x := []float64{0.1, -0.2, 0.3, 0.4}
+	y1 := m.Forward(x)
+	y2 := m.Forward(x)
+	if len(y1) != 1 {
+		t.Fatalf("output size %d", len(y1))
+	}
+	if y1[0] != y2[0] {
+		t.Fatal("forward pass not deterministic")
+	}
+	m2 := New([]int{4, 8, 1}, 1)
+	if m2.Predict(x) != m.Predict(x) {
+		t.Fatal("same seed must give identical nets")
+	}
+	m3 := New([]int{4, 8, 1}, 2)
+	if m3.Predict(x) == m.Predict(x) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input size must panic")
+		}
+	}()
+	New([]int{3, 1}, 1).Forward([]float64{1, 2})
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	m := New([]int{2, 16, 1}, 3)
+	rng := rand.New(rand.NewSource(4))
+	target := func(x []float64) float64 { return 3*x[0] - 2*x[1] + 0.5 }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 256; i++ {
+		x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		xs = append(xs, x)
+		ys = append(ys, target(x))
+	}
+	var last float64
+	for epoch := 0; epoch < 400; epoch++ {
+		last = m.TrainBatch(xs, ys, 1e-2)
+	}
+	if last > 0.01 {
+		t.Fatalf("failed to fit linear function: mse %v", last)
+	}
+}
+
+func TestLearnsNonlinearFunction(t *testing.T) {
+	m := New([]int{1, 32, 32, 1}, 5)
+	rng := rand.New(rand.NewSource(6))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 512; i++ {
+		x := rng.Float64()*4 - 2
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(x))
+	}
+	var mse float64
+	for epoch := 0; epoch < 600; epoch++ {
+		mse = m.TrainBatch(xs, ys, 3e-3)
+	}
+	if mse > 0.02 {
+		t.Fatalf("failed to fit sin: mse %v", mse)
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Numeric gradient vs backprop on a tiny net.
+	m := New([]int{2, 3, 1}, 7)
+	x := []float64{0.3, -0.7}
+	target := 0.42
+	// Analytic gradient via a single TrainBatch with lr captured through
+	// parameter delta is awkward; instead check that a training step
+	// reduces loss for a small lr — a weaker but meaningful invariant —
+	// and that numeric loss matches reported loss.
+	lossBefore := sq(m.Predict(x) - target)
+	reported := m.TrainBatch([][]float64{x}, []float64{target}, 1e-3)
+	if math.Abs(reported-lossBefore) > 1e-9 {
+		t.Fatalf("reported pre-update loss %v != %v", reported, lossBefore)
+	}
+	lossAfter := sq(m.Predict(x) - target)
+	if lossAfter >= lossBefore {
+		t.Fatalf("training step increased loss: %v -> %v", lossBefore, lossAfter)
+	}
+}
+
+func sq(v float64) float64 { return v * v }
+
+func TestCloneAndCopyWeights(t *testing.T) {
+	m := New([]int{3, 8, 1}, 9)
+	c := m.Clone()
+	x := []float64{0.1, 0.2, 0.3}
+	if c.Predict(x) != m.Predict(x) {
+		t.Fatal("clone differs")
+	}
+	// Train the original; the clone must stay frozen.
+	before := c.Predict(x)
+	for i := 0; i < 50; i++ {
+		m.TrainBatch([][]float64{x}, []float64{5}, 1e-2)
+	}
+	if c.Predict(x) != before {
+		t.Fatal("clone aliases original weights")
+	}
+	// Refresh the target network.
+	c.CopyWeightsFrom(m)
+	if c.Predict(x) != m.Predict(x) {
+		t.Fatal("CopyWeightsFrom did not sync")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := New([]int{4, 8, 1}, 11)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, -1, 0.5, 0.25}
+	if got.Predict(x) != m.Predict(x) {
+		t.Fatal("round trip changed predictions")
+	}
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage must fail to load")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	m := New([]int{4, 8, 1}, 1)
+	want := 4*8 + 8 + 8*1 + 1
+	if got := m.NumParams(); got != want {
+		t.Fatalf("params = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkForward502(b *testing.B) {
+	m := New([]int{502, 64, 32, 1}, 1)
+	x := make([]float64, 502)
+	for i := range x {
+		x[i] = float64(i%7) / 7
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}
+
+func BenchmarkTrainBatch32(b *testing.B) {
+	m := New([]int{502, 64, 32, 1}, 1)
+	xs := make([][]float64, 32)
+	ys := make([]float64, 32)
+	for i := range xs {
+		x := make([]float64, 502)
+		for j := range x {
+			x[j] = float64((i*j)%11) / 11
+		}
+		xs[i] = x
+		ys[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainBatch(xs, ys, 1e-3)
+	}
+}

@@ -1,0 +1,71 @@
+package pool
+
+import (
+	"sort"
+
+	"watter/internal/order"
+)
+
+// enumerateCliques visits cliques of the shareability graph that contain
+// n's order, in sizes 2..MaxGroupSize, calling consider for each member
+// slice. Expansion is depth-first over the (sorted) neighborhood with the
+// standard common-neighbor intersection, so every visited set is a clique
+// by construction; rider-count pruning cuts branches that can never fit the
+// vehicle. MaxCliquesPerUpdate bounds the total number of visits.
+func (p *Pool) enumerateCliques(n *node, now float64, consider func([]*order.Order)) {
+	neighbors := make([]int, 0, len(n.edges))
+	for peer, e := range n.edges {
+		if e.expiry >= now {
+			neighbors = append(neighbors, peer)
+		}
+	}
+	sort.Ints(neighbors)
+	if len(neighbors) == 0 {
+		return
+	}
+
+	budget := p.opt.MaxCliquesPerUpdate
+	unlimited := budget <= 0
+
+	members := []*order.Order{n.o}
+	riders := n.o.Riders
+
+	var expand func(cands []int)
+	expand = func(cands []int) {
+		for i, id := range cands {
+			if !unlimited && budget <= 0 {
+				return
+			}
+			peer := p.nodes[id]
+			if peer == nil {
+				continue
+			}
+			if riders+peer.o.Riders > p.opt.Capacity {
+				continue
+			}
+			members = append(members, peer.o)
+			riders += peer.o.Riders
+			if !unlimited {
+				budget--
+			}
+			consider(members)
+			if len(members) < p.opt.MaxGroupSize {
+				// Candidates after i that are adjacent to the new member
+				// (and, inductively, to all previous members) with a live
+				// edge keep the set a clique.
+				var next []int
+				for _, cid := range cands[i+1:] {
+					if e, ok := peer.edges[cid]; ok && e.expiry >= now {
+						next = append(next, cid)
+					}
+				}
+				if len(next) > 0 {
+					expand(next)
+				}
+			}
+			riders -= peer.o.Riders
+			members = members[:len(members)-1]
+		}
+	}
+	expand(neighbors)
+}

@@ -1,0 +1,411 @@
+// Package pool implements the temporal shareability graph (paper Section
+// IV): the order pool at the heart of WATTER. Orders are nodes; an edge
+// (o_i, o_j, τe) records that the two orders can share a feasible route
+// until timestamp τe. Shareable groups are k-cliques (Theorem IV.1 makes
+// the clique a necessary condition; the route planner provides the
+// sufficient check), and every pooled order keeps a pointer to its current
+// best group — the clique whose minimal-cost route gives the smallest
+// average extra time.
+package pool
+
+import (
+	"math"
+	"sort"
+
+	"watter/internal/geo"
+	"watter/internal/gridindex"
+	"watter/internal/order"
+	"watter/internal/route"
+)
+
+// Options tunes the pool's pruning heuristics.
+type Options struct {
+	// Capacity bounds both group rider counts and clique size.
+	Capacity int
+	// MaxGroupSize caps clique size independently of capacity (the planner
+	// rejects groups above route.MaxGroupSize anyway).
+	MaxGroupSize int
+	// CandidateRadius is the spatial prefilter in grid cells: only orders
+	// whose pickup lies within this Chebyshev cell distance are tested for
+	// shareability. Negative disables the prefilter (exact, slower).
+	CandidateRadius int
+	// MaxCliquesPerUpdate caps the number of candidate cliques explored
+	// per best-group recomputation; 0 means unlimited.
+	MaxCliquesPerUpdate int
+}
+
+// DefaultOptions matches the paper's defaults (capacity 4, 10x10 grid
+// prefilter of radius 2).
+func DefaultOptions() Options {
+	return Options{Capacity: 4, MaxGroupSize: 4, CandidateRadius: 2, MaxCliquesPerUpdate: 64}
+}
+
+// edge is a shareability relation with its expiration timestamp.
+type edge struct {
+	peer   int     // neighbor order ID
+	expiry float64 // τe: latest dispatch time keeping the pair feasible
+}
+
+// node is a pooled order plus adjacency.
+type node struct {
+	o     *order.Order
+	edges map[int]edge
+	cell  int // pickup cell in the spatial index
+	best  *order.Group
+	// bestExpiry is τg of the best group (Eq. 3): the latest dispatch time
+	// at which the group's plan still meets every member deadline.
+	bestExpiry float64
+}
+
+// Pool is the temporal shareability graph.
+type Pool struct {
+	planner *route.Planner
+	ix      *gridindex.Index
+	opt     Options
+
+	nodes map[int]*node
+	cells [][]int // cell -> order IDs with pickup in the cell
+
+	// Demand distributions over cells, maintained incrementally; these are
+	// the MDP state's sO vectors.
+	pickupDemand  gridindex.Distribution
+	dropoffDemand gridindex.Distribution
+}
+
+// New builds an empty pool.
+func New(planner *route.Planner, ix *gridindex.Index, opt Options) *Pool {
+	if opt.Capacity <= 0 {
+		opt.Capacity = 4
+	}
+	if opt.MaxGroupSize <= 0 || opt.MaxGroupSize > route.MaxGroupSize {
+		opt.MaxGroupSize = min(opt.Capacity, route.MaxGroupSize)
+	}
+	return &Pool{
+		planner:       planner,
+		ix:            ix,
+		opt:           opt,
+		nodes:         make(map[int]*node),
+		cells:         make([][]int, ix.NumCells()),
+		pickupDemand:  ix.NewDistribution(),
+		dropoffDemand: ix.NewDistribution(),
+	}
+}
+
+// Len returns the number of pooled orders.
+func (p *Pool) Len() int { return len(p.nodes) }
+
+// Contains reports whether the order is pooled.
+func (p *Pool) Contains(id int) bool { _, ok := p.nodes[id]; return ok }
+
+// Order returns a pooled order by ID (nil if absent).
+func (p *Pool) Order(id int) *order.Order {
+	if n, ok := p.nodes[id]; ok {
+		return n.o
+	}
+	return nil
+}
+
+// OrderIDs returns the pooled order IDs in ascending order (deterministic
+// iteration for the periodic check).
+func (p *Pool) OrderIDs() []int {
+	ids := make([]int, 0, len(p.nodes))
+	for id := range p.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Degree returns the number of shareability edges incident to the order.
+func (p *Pool) Degree(id int) int {
+	if n, ok := p.nodes[id]; ok {
+		return len(n.edges)
+	}
+	return 0
+}
+
+// EdgeExpiry returns the τe of the edge between two orders, if present.
+func (p *Pool) EdgeExpiry(a, b int) (float64, bool) {
+	if n, ok := p.nodes[a]; ok {
+		if e, ok := n.edges[b]; ok {
+			return e.expiry, true
+		}
+	}
+	return 0, false
+}
+
+// DemandDistributions returns normalized copies of the current pickup and
+// dropoff demand histograms (MDP feature sO).
+func (p *Pool) DemandDistributions() (pickup, dropoff gridindex.Distribution) {
+	pu := make(gridindex.Distribution, len(p.pickupDemand))
+	do := make(gridindex.Distribution, len(p.dropoffDemand))
+	copy(pu, p.pickupDemand)
+	copy(do, p.dropoffDemand)
+	pu.Normalize()
+	do.Normalize()
+	return pu, do
+}
+
+// Insert adds an order at time now: the node is created, shareability
+// edges to candidate neighbors are discovered, and best groups of the new
+// order and its neighbors are refreshed. Returns the number of edges added.
+func (p *Pool) Insert(o *order.Order, now float64) int {
+	if _, dup := p.nodes[o.ID]; dup {
+		return 0
+	}
+	n := &node{
+		o:     o,
+		edges: make(map[int]edge),
+		cell:  p.ix.CellOf(o.Pickup),
+	}
+	p.nodes[o.ID] = n
+	p.cells[n.cell] = append(p.cells[n.cell], o.ID)
+	p.pickupDemand[p.ix.CellOf(o.Pickup)]++
+	p.dropoffDemand[p.ix.CellOf(o.Dropoff)]++
+
+	added := 0
+	for _, candID := range p.candidates(n) {
+		cand := p.nodes[candID]
+		plan, ok := p.planner.Shareable(o, cand.o, now, p.opt.Capacity)
+		if !ok {
+			continue
+		}
+		expiry := groupExpiry([]*order.Order{o, cand.o}, plan)
+		if expiry < now {
+			continue
+		}
+		n.edges[candID] = edge{peer: candID, expiry: expiry}
+		cand.edges[o.ID] = edge{peer: o.ID, expiry: expiry}
+		added++
+	}
+	// Incremental best-group maintenance (the paper's Appendix A shape):
+	// an arrival only adds grouping options, so the new order gets a full
+	// enumeration and every group visited improvement-updates the other
+	// members' bests — neighbors never need a full recompute here.
+	p.refreshBest(o.ID, now)
+	return added
+}
+
+// Remove deletes an order (dispatched or rejected) and refreshes the best
+// groups of every neighbor whose best group referenced it.
+func (p *Pool) Remove(id int, now float64) {
+	n, ok := p.nodes[id]
+	if !ok {
+		return
+	}
+	neighbors := make([]int, 0, len(n.edges))
+	for peer := range n.edges {
+		neighbors = append(neighbors, peer)
+		delete(p.nodes[peer].edges, id)
+	}
+	sort.Ints(neighbors)
+	p.dropNode(id, n)
+	for _, peer := range neighbors {
+		pn := p.nodes[peer]
+		if pn == nil {
+			continue
+		}
+		if pn.best != nil && groupContains(pn.best, id) {
+			p.refreshBest(peer, now)
+		}
+	}
+}
+
+// RemoveGroup removes every member of the group, then refreshes affected
+// neighbors once.
+func (p *Pool) RemoveGroup(g *order.Group, now float64) {
+	for _, o := range g.Orders {
+		p.Remove(o.ID, now)
+	}
+}
+
+func (p *Pool) dropNode(id int, n *node) {
+	bucket := p.cells[n.cell]
+	for i, v := range bucket {
+		if v == id {
+			bucket[i] = bucket[len(bucket)-1]
+			p.cells[n.cell] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	p.pickupDemand[p.ix.CellOf(n.o.Pickup)]--
+	p.dropoffDemand[p.ix.CellOf(n.o.Dropoff)]--
+	delete(p.nodes, id)
+}
+
+// ExpireEdges drops edges and best groups that are no longer dispatchable
+// at time now (graph update cases 3 and 4 of Algorithm 1), and returns the
+// IDs of orders that can no longer be served alone (deadline unreachable) —
+// the caller rejects those.
+func (p *Pool) ExpireEdges(now float64) (expiredOrders []int) {
+	type pair struct{ a, b int }
+	var dead []pair
+	for id, n := range p.nodes {
+		for peer, e := range n.edges {
+			if peer > id && e.expiry < now {
+				dead = append(dead, pair{id, peer})
+			}
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool {
+		if dead[i].a != dead[j].a {
+			return dead[i].a < dead[j].a
+		}
+		return dead[i].b < dead[j].b
+	})
+	touched := map[int]bool{}
+	for _, d := range dead {
+		delete(p.nodes[d.a].edges, d.b)
+		delete(p.nodes[d.b].edges, d.a)
+		touched[d.a] = true
+		touched[d.b] = true
+	}
+	for id, n := range p.nodes {
+		if n.best != nil && n.bestExpiry < now {
+			touched[id] = true
+		}
+		if n.o.Expired(now) {
+			expiredOrders = append(expiredOrders, id)
+		}
+	}
+	ids := make([]int, 0, len(touched))
+	for id := range touched {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p.refreshBest(id, now)
+	}
+	sort.Ints(expiredOrders)
+	return expiredOrders
+}
+
+// BestGroup returns the order's current best *shared* group (size >= 2)
+// and its expiry τg. ok is false when the order has no feasible shared
+// group right now — per Algorithm 1 such orders stay pooled and wait (solo
+// dispatch is the framework's timeout path, not a pool concern).
+func (p *Pool) BestGroup(id int) (*order.Group, float64, bool) {
+	n, ok := p.nodes[id]
+	if !ok || n.best == nil {
+		return nil, 0, false
+	}
+	return n.best, n.bestExpiry, true
+}
+
+// candidates returns the IDs of pooled orders within the spatial prefilter
+// radius of n's pickup cell, ascending.
+func (p *Pool) candidates(n *node) []int {
+	var out []int
+	if p.opt.CandidateRadius < 0 {
+		for id := range p.nodes {
+			if id != n.o.ID {
+				out = append(out, id)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	for d := 0; d <= p.opt.CandidateRadius; d++ {
+		p.ix.Ring(n.cell, d, func(cell int) bool {
+			for _, id := range p.cells[cell] {
+				if id != n.o.ID {
+					out = append(out, id)
+				}
+			}
+			return true
+		})
+	}
+	sort.Ints(out)
+	return out
+}
+
+// refreshBest recomputes the order's best shared group: the minimum
+// average extra time over cliques (size >= 2) of its neighborhood up to
+// MaxGroupSize, each validated by the exact route planner. Singletons are
+// deliberately excluded: a fresh order's lone "group" has near-zero extra
+// time by construction and would always win, collapsing every strategy
+// into immediate solo dispatch.
+func (p *Pool) refreshBest(id int, now float64) {
+	n, ok := p.nodes[id]
+	if !ok {
+		return
+	}
+	n.best = nil
+	n.bestExpiry = math.Inf(-1)
+	bestAvg := math.Inf(1)
+
+	consider := func(members []*order.Order) {
+		plan, ok := p.planner.PlanGroup(members, now, p.opt.Capacity)
+		if !ok {
+			return
+		}
+		expiry := groupExpiry(members, plan)
+		if expiry < now {
+			return
+		}
+		g := &order.Group{Orders: append([]*order.Order(nil), members...), Plan: plan}
+		avg := g.AvgExtraTime(now, p.planner.Alpha, p.planner.Beta)
+		if avg < bestAvg-1e-9 {
+			bestAvg = avg
+			n.best = g
+			n.bestExpiry = expiry
+		}
+		// Improvement-only update for the other members: their stored
+		// best was exact before this enumeration and new groups can only
+		// lower the minimum, so comparing against the stored value keeps
+		// them exact without re-enumerating their own neighborhoods.
+		for _, m := range members {
+			if m.ID == n.o.ID {
+				continue
+			}
+			mn := p.nodes[m.ID]
+			if mn == nil {
+				continue
+			}
+			cur := math.Inf(1)
+			if mn.best != nil {
+				cur = mn.best.AvgExtraTime(now, p.planner.Alpha, p.planner.Beta)
+			}
+			if avg < cur-1e-9 {
+				mn.best = g
+				mn.bestExpiry = expiry
+			}
+		}
+	}
+
+	p.enumerateCliques(n, now, consider)
+}
+
+// groupExpiry computes τg (Eq. 3): the latest dispatch timestamp at which
+// every member still meets its deadline, i.e. min_i (τ(i) - T(L(i))).
+func groupExpiry(members []*order.Order, plan *order.RoutePlan) float64 {
+	exp := math.Inf(1)
+	for _, o := range members {
+		st, ok := plan.ServiceTime(o.ID)
+		if !ok {
+			return math.Inf(-1)
+		}
+		if e := o.Deadline - st; e < exp {
+			exp = e
+		}
+	}
+	return exp
+}
+
+func groupContains(g *order.Group, id int) bool {
+	for _, o := range g.Orders {
+		if o.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ = geo.InvalidNode // geo is part of the package's public vocabulary

@@ -1,0 +1,242 @@
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+
+	"watter/internal/geo"
+)
+
+// Graph is an explicit weighted directed road graph with Dijkstra-based
+// shortest-path costs. Single-source distance arrays are cached per source
+// node (bounded LRU), which matches the access pattern of the shareability
+// graph: many cost queries fan out from the same pickup/dropoff nodes.
+type Graph struct {
+	coords []geo.Point
+	// CSR adjacency.
+	headIdx []int32 // len = numNodes+1
+	adjNode []geo.NodeID
+	adjCost []float32
+	bounds  geo.Rect
+
+	mu       sync.Mutex
+	cache    map[geo.NodeID]*distEntry
+	order    []geo.NodeID // LRU order, most recent last
+	maxCache int
+}
+
+type distEntry struct {
+	dist []float32
+	prev []geo.NodeID
+}
+
+// edge is a temporary construction-time edge.
+type edge struct {
+	from, to geo.NodeID
+	cost     float32
+}
+
+// GraphBuilder accumulates nodes and edges before freezing them into a
+// Graph's CSR representation.
+type GraphBuilder struct {
+	coords []geo.Point
+	edges  []edge
+}
+
+// AddNode appends a node at p and returns its NodeID.
+func (b *GraphBuilder) AddNode(p geo.Point) geo.NodeID {
+	b.coords = append(b.coords, p)
+	return geo.NodeID(len(b.coords) - 1)
+}
+
+// AddEdge adds a directed edge with the given travel time in seconds.
+func (b *GraphBuilder) AddEdge(from, to geo.NodeID, seconds float64) {
+	b.edges = append(b.edges, edge{from, to, float32(seconds)})
+}
+
+// AddBidirectional adds edges in both directions with the same travel time.
+func (b *GraphBuilder) AddBidirectional(u, v geo.NodeID, seconds float64) {
+	b.AddEdge(u, v, seconds)
+	b.AddEdge(v, u, seconds)
+}
+
+// Build freezes the builder into a Graph. The builder must not be reused.
+func (b *GraphBuilder) Build() (*Graph, error) {
+	n := len(b.coords)
+	if n == 0 {
+		return nil, fmt.Errorf("roadnet: graph has no nodes")
+	}
+	for _, e := range b.edges {
+		if e.from < 0 || int(e.from) >= n || e.to < 0 || int(e.to) >= n {
+			return nil, fmt.Errorf("roadnet: edge (%d,%d) references unknown node", e.from, e.to)
+		}
+		if e.cost < 0 {
+			return nil, fmt.Errorf("roadnet: edge (%d,%d) has negative cost %f", e.from, e.to, e.cost)
+		}
+	}
+	g := &Graph{
+		coords:   b.coords,
+		headIdx:  make([]int32, n+1),
+		adjNode:  make([]geo.NodeID, len(b.edges)),
+		adjCost:  make([]float32, len(b.edges)),
+		cache:    make(map[geo.NodeID]*distEntry),
+		maxCache: 4096,
+	}
+	counts := make([]int32, n)
+	for _, e := range b.edges {
+		counts[e.from]++
+	}
+	for i := 0; i < n; i++ {
+		g.headIdx[i+1] = g.headIdx[i] + counts[i]
+	}
+	fill := make([]int32, n)
+	copy(fill, g.headIdx[:n])
+	for _, e := range b.edges {
+		g.adjNode[fill[e.from]] = e.to
+		g.adjCost[fill[e.from]] = e.cost
+		fill[e.from]++
+	}
+	g.bounds = boundsOf(g.coords)
+	return g, nil
+}
+
+func boundsOf(pts []geo.Point) geo.Rect {
+	r := geo.Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}
+
+// SetCacheSize bounds the number of cached single-source distance arrays.
+// Must be called before concurrent use.
+func (g *Graph) SetCacheSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.maxCache = n
+}
+
+// NumNodes implements Network.
+func (g *Graph) NumNodes() int { return len(g.coords) }
+
+// Coord implements Network.
+func (g *Graph) Coord(n geo.NodeID) geo.Point { return g.coords[n] }
+
+// Bounds implements Network.
+func (g *Graph) Bounds() geo.Rect { return g.bounds }
+
+// Cost implements Network via cached single-source Dijkstra.
+func (g *Graph) Cost(from, to geo.NodeID) float64 {
+	if from == to {
+		return 0
+	}
+	e := g.source(from)
+	return float64(e.dist[to])
+}
+
+// Path implements PathNetwork.
+func (g *Graph) Path(from, to geo.NodeID) []geo.NodeID {
+	e := g.source(from)
+	if math.IsInf(float64(e.dist[to]), 1) {
+		return nil
+	}
+	var rev []geo.NodeID
+	for n := to; n != from; n = e.prev[n] {
+		rev = append(rev, n)
+		if len(rev) > len(g.coords) {
+			return nil // defensive: broken prev chain
+		}
+	}
+	rev = append(rev, from)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func (g *Graph) source(from geo.NodeID) *distEntry {
+	g.mu.Lock()
+	if e, ok := g.cache[from]; ok {
+		g.mu.Unlock()
+		return e
+	}
+	g.mu.Unlock()
+	e := g.dijkstra(from)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if prev, ok := g.cache[from]; ok {
+		return prev // raced with another goroutine; keep the first
+	}
+	if len(g.cache) >= g.maxCache {
+		// Evict the least recently inserted source.
+		victim := g.order[0]
+		g.order = g.order[1:]
+		delete(g.cache, victim)
+	}
+	g.cache[from] = e
+	g.order = append(g.order, from)
+	return e
+}
+
+// pqItem is a priority-queue element for Dijkstra.
+type pqItem struct {
+	node geo.NodeID
+	dist float32
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+func (g *Graph) dijkstra(src geo.NodeID) *distEntry {
+	n := len(g.coords)
+	dist := make([]float32, n)
+	prev := make([]geo.NodeID, n)
+	inf := float32(math.Inf(1))
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = geo.InvalidNode
+	}
+	dist[src] = 0
+	q := pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		for i := g.headIdx[it.node]; i < g.headIdx[it.node+1]; i++ {
+			v := g.adjNode[i]
+			nd := it.dist + g.adjCost[i]
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = it.node
+				heap.Push(&q, pqItem{v, nd})
+			}
+		}
+	}
+	return &distEntry{dist: dist, prev: prev}
+}
+
+// Precompute runs Dijkstra from every node and pins the results in the
+// cache, turning later Cost calls into O(1) lookups. Only sensible for
+// small graphs (memory is O(V^2)).
+func (g *Graph) Precompute() {
+	g.mu.Lock()
+	if g.maxCache < len(g.coords) {
+		g.maxCache = len(g.coords)
+	}
+	g.mu.Unlock()
+	for n := 0; n < len(g.coords); n++ {
+		g.source(geo.NodeID(n))
+	}
+}

@@ -1,0 +1,58 @@
+// Package roadnet provides the road-network substrate every WATTER component
+// travels on: an explicit weighted graph with Dijkstra shortest paths (used
+// for small and mid-size cities and for all correctness tests) and a
+// closed-form grid-metric city (used for large-scale benchmark sweeps where
+// millions of cost queries must stay cheap).
+//
+// The rest of the system depends only on the Network interface: a travel
+// time oracle cost(l1, l2) in seconds plus enough geometry to build spatial
+// indexes. The paper's shortest travel cost "cost(li, lj)" maps directly to
+// Network.Cost.
+package roadnet
+
+import (
+	"fmt"
+
+	"watter/internal/geo"
+)
+
+// Network is a travel-time oracle over a fixed set of locations.
+//
+// Implementations must be safe for concurrent readers after construction.
+type Network interface {
+	// NumNodes returns the number of locations; valid NodeIDs are
+	// [0, NumNodes).
+	NumNodes() int
+	// Coord returns the planar position of a node in meters.
+	Coord(n geo.NodeID) geo.Point
+	// Cost returns the shortest travel time in seconds from one node to
+	// another. Cost(n, n) is 0. Unreachable pairs return +Inf.
+	Cost(from, to geo.NodeID) float64
+	// Bounds returns the bounding box of all node coordinates.
+	Bounds() geo.Rect
+}
+
+// PathNetwork is implemented by networks that can also materialize the
+// node sequence of a shortest path (used by visualization and by tests that
+// validate route feasibility edge by edge).
+type PathNetwork interface {
+	Network
+	// Path returns the node sequence of a shortest path from one node to
+	// another, inclusive of both endpoints. Returns nil if unreachable.
+	Path(from, to geo.NodeID) []geo.NodeID
+}
+
+// ValidateNode returns an error if n is not a node of net.
+func ValidateNode(net Network, n geo.NodeID) error {
+	if n < 0 || int(n) >= net.NumNodes() {
+		return fmt.Errorf("roadnet: node %d out of range [0,%d)", n, net.NumNodes())
+	}
+	return nil
+}
+
+// TriangleSlack reports cost(a,c) - (cost(a,b) + cost(b,c)). For any
+// shortest-path metric this must be <= 0 (up to floating error); property
+// tests use it as an invariant.
+func TriangleSlack(net Network, a, b, c geo.NodeID) float64 {
+	return net.Cost(a, c) - (net.Cost(a, b) + net.Cost(b, c))
+}

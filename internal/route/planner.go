@@ -1,0 +1,266 @@
+// Package route plans feasible routes for order groups: the exact
+// minimal-cost route for a group (dynamic programming over pickup/dropoff
+// subsets, used by the shareability graph) and schedule evaluation used by
+// the greedy-insertion baseline.
+//
+// A route is feasible (paper Def. 7) when it visits each order's pickup
+// before its dropoff (sequential constraint), drops every order off before
+// its deadline (deadline constraint) and never carries more riders than the
+// vehicle capacity (capacity constraint).
+package route
+
+import (
+	"math"
+	"sync"
+
+	"watter/internal/geo"
+	"watter/internal/order"
+	"watter/internal/roadnet"
+)
+
+// MaxGroupSize bounds the DP: groups above this size are rejected outright.
+// The paper's vehicle capacities go up to 5 riders, so 6 leaves headroom
+// while keeping the DP table (3^k states in spirit, 2^(2k)*2k here) tiny.
+const MaxGroupSize = 6
+
+// Planner plans routes over a road network. Alpha and Beta are the extra-
+// time trade-off coefficients (paper Def. 6); both default to 1 in the
+// paper's experiments.
+type Planner struct {
+	Net   roadnet.Network
+	Alpha float64
+	Beta  float64
+}
+
+// NewPlanner returns a planner with the paper's default alpha = beta = 1.
+func NewPlanner(net roadnet.Network) *Planner {
+	return &Planner{Net: net, Alpha: 1, Beta: 1}
+}
+
+// PlanGroup finds the minimal-travel-cost feasible route for the given
+// orders when dispatched at time now into a vehicle with the given rider
+// capacity. The route starts at its first pickup (the paper measures
+// T(L(i)) from l1). Returns (nil, false) when no feasible route exists.
+//
+// The search is exact: dynamic programming over (visited-event-set, last
+// event) states, O(4^k * k) for k orders, trivial for k <= MaxGroupSize.
+func (p *Planner) PlanGroup(orders []*order.Order, now float64, capacity int) (*order.RoutePlan, bool) {
+	return p.PlanGroupFrom(orders, now, capacity, geo.InvalidNode)
+}
+
+// PlanGroupFrom is PlanGroup with an explicit start location: arrivals then
+// include the travel from start to the first pickup. Pass geo.InvalidNode
+// for a free start (route begins at whichever first pickup is cheapest).
+func (p *Planner) PlanGroupFrom(orders []*order.Order, now float64, capacity int, start geo.NodeID) (*order.RoutePlan, bool) {
+	k := len(orders)
+	if k == 0 || k > MaxGroupSize {
+		return nil, false
+	}
+	if totalRiders(orders) > capacity && k > 1 {
+		// A group can still be feasible if riders never overlap, so only
+		// reject when even a single order exceeds capacity; overlap is
+		// checked per transition below. Single-order fast path:
+		for _, o := range orders {
+			if o.Riders > capacity {
+				return nil, false
+			}
+		}
+	}
+	for _, o := range orders {
+		if o.Riders > capacity {
+			return nil, false
+		}
+	}
+
+	ne := 2 * k // events: 2i = pickup of orders[i], 2i+1 = dropoff
+	full := (1 << ne) - 1
+	sc := scratchPool.Get().(*planScratch)
+	defer scratchPool.Put(sc)
+	loc := sc.loc(ne)
+	for i, o := range orders {
+		loc[2*i] = o.Pickup
+		loc[2*i+1] = o.Dropoff
+	}
+	// legs[a*ne+b] caches cost(loc[a], loc[b]); the DP touches each pair
+	// thousands of times, the oracle only ne^2 times.
+	legs := sc.legs(ne)
+	for a := 0; a < ne; a++ {
+		for b := 0; b < ne; b++ {
+			if a == b {
+				legs[a*ne+b] = 0
+				continue
+			}
+			legs[a*ne+b] = p.Net.Cost(loc[a], loc[b])
+		}
+	}
+	// dp[mask*ne+last] = earliest arrival offset at event `last` having
+	// completed exactly `mask`.
+	size := (full + 1) * ne
+	dp, parent := sc.tables(size)
+	for i := range dp {
+		dp[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	// Initialize with each pickup as the first stop.
+	for i, o := range orders {
+		if o.Riders > capacity {
+			return nil, false
+		}
+		var t0 float64
+		if start != geo.InvalidNode {
+			t0 = p.Net.Cost(start, o.Pickup)
+		}
+		dp[(1<<(2*i))*ne+2*i] = t0
+	}
+
+	for mask := 1; mask <= full; mask++ {
+		onboard := -1 // computed lazily: most masks are unreachable
+		for last := 0; last < ne; last++ {
+			cur := dp[mask*ne+last]
+			if math.IsInf(cur, 1) {
+				continue
+			}
+			if onboard < 0 {
+				onboard = ridersOnboard(orders, mask)
+			}
+			for next := 0; next < ne; next++ {
+				if mask&(1<<next) != 0 {
+					continue
+				}
+				oi := next / 2
+				if next%2 == 1 && mask&(1<<(next-1)) == 0 {
+					continue // dropoff before pickup violates sequencing
+				}
+				if next%2 == 0 && onboard+orders[oi].Riders > capacity {
+					continue // capacity exceeded at this pickup
+				}
+				t := cur + legs[last*ne+next]
+				if next%2 == 1 && now+t > orders[oi].Deadline {
+					continue // deadline violated at this dropoff
+				}
+				nm := mask | (1 << next)
+				idx := nm*ne + next
+				if t < dp[idx]-1e-12 {
+					dp[idx] = t
+					parent[idx] = int32(mask*ne + last)
+				}
+			}
+		}
+	}
+
+	// Pick the cheapest complete route; ties break toward the smaller
+	// final event index for determinism.
+	best := -1
+	bestT := math.Inf(1)
+	for last := 0; last < ne; last++ {
+		if t := dp[full*ne+last]; t < bestT-1e-12 {
+			bestT = t
+			best = full*ne + last
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+
+	// Reconstruct the event sequence (fresh slices: they escape into the
+	// returned plan).
+	events := make([]int, 0, ne)
+	arrive := make([]float64, 0, ne)
+	for idx := best; idx >= 0; idx = int(parent[idx]) {
+		events = append(events, idx%ne)
+		arrive = append(arrive, dp[idx])
+	}
+	reverseInts(events)
+	reverseFloats(arrive)
+
+	plan := &order.RoutePlan{
+		Stops:  make([]order.Stop, ne),
+		Arrive: arrive,
+		Cost:   bestT,
+	}
+	for i, ev := range events {
+		o := orders[ev/2]
+		kind := order.PickupStop
+		node := o.Pickup
+		if ev%2 == 1 {
+			kind = order.DropoffStop
+			node = o.Dropoff
+		}
+		plan.Stops[i] = order.Stop{Node: node, Kind: kind, OrderID: o.ID, Riders: o.Riders}
+	}
+	return plan, true
+}
+
+// Shareable reports whether two orders can be served together by a vehicle
+// of the given capacity when dispatched at time now, and returns the
+// minimal-cost plan when they can. This is the pairwise test that decides
+// edges of the temporal shareability graph.
+func (p *Planner) Shareable(a, b *order.Order, now float64, capacity int) (*order.RoutePlan, bool) {
+	return p.PlanGroup([]*order.Order{a, b}, now, capacity)
+}
+
+// planScratch holds reusable DP buffers; pooled because the shareability
+// graph calls the planner millions of times per simulated day.
+type planScratch struct {
+	locBuf    []geo.NodeID
+	legBuf    []float64
+	dpBuf     []float64
+	parentBuf []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return &planScratch{} }}
+
+func (s *planScratch) loc(ne int) []geo.NodeID {
+	if cap(s.locBuf) < ne {
+		s.locBuf = make([]geo.NodeID, ne)
+	}
+	return s.locBuf[:ne]
+}
+
+func (s *planScratch) legs(ne int) []float64 {
+	if cap(s.legBuf) < ne*ne {
+		s.legBuf = make([]float64, ne*ne)
+	}
+	return s.legBuf[:ne*ne]
+}
+
+func (s *planScratch) tables(size int) ([]float64, []int32) {
+	if cap(s.dpBuf) < size {
+		s.dpBuf = make([]float64, size)
+		s.parentBuf = make([]int32, size)
+	}
+	return s.dpBuf[:size], s.parentBuf[:size]
+}
+
+func totalRiders(orders []*order.Order) int {
+	t := 0
+	for _, o := range orders {
+		t += o.Riders
+	}
+	return t
+}
+
+// ridersOnboard counts riders picked up but not yet dropped off in mask.
+func ridersOnboard(orders []*order.Order, mask int) int {
+	n := 0
+	for i, o := range orders {
+		picked := mask&(1<<(2*i)) != 0
+		dropped := mask&(1<<(2*i+1)) != 0
+		if picked && !dropped {
+			n += o.Riders
+		}
+	}
+	return n
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func reverseFloats(s []float64) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

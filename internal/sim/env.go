@@ -1,0 +1,283 @@
+// Package sim is the ridesharing platform simulator: it owns the clock, the
+// worker fleet and the metric accounting, and drives any dispatch algorithm
+// (the WATTER variants and the GDP/GAS baselines) over an online order
+// stream. The four reported measurements match the paper's Section VII-A:
+// Extra Time, Unified Cost, Service Rate and Running Time.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"watter/internal/geo"
+	"watter/internal/gridindex"
+	"watter/internal/order"
+	"watter/internal/roadnet"
+	"watter/internal/route"
+)
+
+// Metrics accumulates the paper's four measurements plus the raw terms they
+// are derived from.
+type Metrics struct {
+	Total    int // |O|
+	Served   int // |O+|
+	Rejected int // |O-|
+
+	// ServedExtra is Σ t_e over served orders; PenaltySum is Σ p(i) over
+	// rejected orders. ExtraTime (the METRS objective Φ, Eq. 2) is their sum.
+	ServedExtra float64
+	PenaltySum  float64
+
+	// ResponseSum and DetourSum decompose ServedExtra (alpha=beta=1).
+	ResponseSum float64
+	DetourSum   float64
+
+	// WorkerTravel is total driving seconds across the fleet.
+	// RejectUnified is the Unified Cost penalty term: 10 x cost(lp,ld) per
+	// rejected order (Section VII-A, following [9]). UnifiedCost is their sum.
+	WorkerTravel  float64
+	RejectUnified float64
+
+	// DecisionSeconds is the cumulative wall-clock time the algorithm spent
+	// inside its hooks; RunningTime() reports the per-order average.
+	DecisionSeconds float64
+
+	// GroupSizeHist[k] counts dispatched groups with k orders (k capped at 8).
+	GroupSizeHist [9]int
+}
+
+// ExtraTime returns the METRS objective Φ(W, O) (Eq. 2).
+func (m *Metrics) ExtraTime() float64 { return m.ServedExtra + m.PenaltySum }
+
+// UnifiedCost returns worker travel plus rejection penalties (per [9]).
+func (m *Metrics) UnifiedCost() float64 { return m.WorkerTravel + m.RejectUnified }
+
+// ServiceRate returns |O+| / |O| in [0,1].
+func (m *Metrics) ServiceRate() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Served) / float64(m.Total)
+}
+
+// RunningTime returns the average algorithm running time per order in
+// seconds (the paper's Running Time metric).
+func (m *Metrics) RunningTime() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return m.DecisionSeconds / float64(m.Total)
+}
+
+// AvgGroupSize returns the mean dispatched group size.
+func (m *Metrics) AvgGroupSize() float64 {
+	groups, orders := 0, 0
+	for k, c := range m.GroupSizeHist {
+		groups += c
+		orders += k * c
+	}
+	if groups == 0 {
+		return 0
+	}
+	return float64(orders) / float64(groups)
+}
+
+// Config fixes the experiment-level parameters shared by all algorithms.
+type Config struct {
+	Alpha, Beta float64 // extra-time trade-off (paper default 1, 1)
+	// UnifiedPenaltyFactor multiplies cost(lp,ld) for rejected orders in
+	// Unified Cost; the paper uses 10.
+	UnifiedPenaltyFactor float64
+	// GridN is the side of the spatial index (paper default 10).
+	GridN int
+	// Capacity is the default vehicle capacity used for group-size limits
+	// when planning before a concrete worker is chosen.
+	Capacity int
+}
+
+// DefaultConfig returns the paper's default parameters.
+func DefaultConfig() Config {
+	return Config{Alpha: 1, Beta: 1, UnifiedPenaltyFactor: 10, GridN: 10, Capacity: 4}
+}
+
+// Env is the platform state visible to dispatch algorithms.
+type Env struct {
+	Net     roadnet.Network
+	Planner *route.Planner
+	Index   *gridindex.Index
+	WIndex  *gridindex.WorkerIndex
+	Workers []*order.Worker
+	Cfg     Config
+
+	Clock   float64
+	Metrics Metrics
+
+	// onServe/onReject let learners observe outcomes (experience
+	// generation); nil outside training.
+	onServe  func(g *order.Group, now float64)
+	onReject func(o *order.Order, now float64)
+}
+
+// NewEnv builds an environment over the network and worker fleet. Workers
+// are used in place (their FreeAt/Loc fields mutate during a run).
+func NewEnv(net roadnet.Network, workers []*order.Worker, cfg Config) *Env {
+	if cfg.GridN <= 0 {
+		cfg.GridN = 10
+	}
+	if cfg.UnifiedPenaltyFactor == 0 {
+		cfg.UnifiedPenaltyFactor = 10
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4
+	}
+	ix := gridindex.New(net, cfg.GridN)
+	planner := &route.Planner{Net: net, Alpha: cfg.Alpha, Beta: cfg.Beta}
+	return &Env{
+		Net:     net,
+		Planner: planner,
+		Index:   ix,
+		WIndex:  gridindex.NewWorkerIndex(ix, net, workers),
+		Workers: workers,
+		Cfg:     cfg,
+	}
+}
+
+// SetObservers registers outcome callbacks (used by offline training).
+func (e *Env) SetObservers(onServe func(*order.Group, float64), onReject func(*order.Order, float64)) {
+	e.onServe = onServe
+	e.onReject = onReject
+}
+
+// ClosestIdleWorker returns the nearest idle worker with enough seats, or
+// nil when none exists.
+func (e *Env) ClosestIdleWorker(node geo.NodeID, riders int) *order.Worker {
+	return e.WIndex.ClosestIdle(node, e.Clock, riders)
+}
+
+// DispatchGroup assigns the group to the closest idle worker with enough
+// capacity, updates the worker timeline and accounts all per-order metrics.
+// Returns false (and records nothing) when no worker is available.
+//
+// Timing model: the paper measures response time until the platform
+// notifies the rider (t_n = dispatch time) and T(L(i)) from the route's
+// first stop. The worker's approach travel to the first stop therefore
+// counts toward worker travel (Unified Cost) and the worker's busy window,
+// but not toward rider extra time.
+func (e *Env) DispatchGroup(g *order.Group, now float64) bool {
+	if g == nil || g.Plan == nil || len(g.Orders) == 0 {
+		return false
+	}
+	w := e.WIndex.ClosestIdle(g.Plan.Stops[0].Node, now, g.Riders())
+	if w == nil {
+		return false
+	}
+	approach := e.Net.Cost(w.Loc, g.Plan.Stops[0].Node)
+	if math.IsInf(approach, 1) {
+		return false
+	}
+	w.TravelCost += approach + g.Plan.Cost
+	w.FreeAt = now + approach + g.Plan.Cost
+	w.Loc = g.Plan.Stops[len(g.Plan.Stops)-1].Node
+	w.Served++
+	e.WIndex.Update(w)
+
+	e.Metrics.WorkerTravel += approach + g.Plan.Cost
+	for _, o := range g.Orders {
+		st, ok := g.Plan.ServiceTime(o.ID)
+		if !ok {
+			continue
+		}
+		response := now - o.Release
+		detour := st - o.DirectCost
+		e.Metrics.Served++
+		e.Metrics.ResponseSum += response
+		e.Metrics.DetourSum += detour
+		e.Metrics.ServedExtra += e.Cfg.Alpha*detour + e.Cfg.Beta*response
+	}
+	k := len(g.Orders)
+	if k >= len(e.Metrics.GroupSizeHist) {
+		k = len(e.Metrics.GroupSizeHist) - 1
+	}
+	e.Metrics.GroupSizeHist[k]++
+	if e.onServe != nil {
+		e.onServe(g, now)
+	}
+	return true
+}
+
+// DispatchGroupWith assigns the group to a specific worker. The group's
+// plan must be anchored at the worker's current location (built with
+// PlanGroupFrom), so Plan.Cost already includes the approach leg. Used by
+// the batch baseline, which chooses workers itself.
+func (e *Env) DispatchGroupWith(w *order.Worker, g *order.Group, now float64) bool {
+	if g == nil || g.Plan == nil || len(g.Orders) == 0 || !w.IdleAt(now) {
+		return false
+	}
+	w.TravelCost += g.Plan.Cost
+	w.FreeAt = now + g.Plan.Cost
+	w.Loc = g.Plan.Stops[len(g.Plan.Stops)-1].Node
+	w.Served++
+	e.WIndex.Update(w)
+
+	e.Metrics.WorkerTravel += g.Plan.Cost
+	for _, o := range g.Orders {
+		st, ok := g.Plan.ServiceTime(o.ID)
+		if !ok {
+			continue
+		}
+		response := now - o.Release
+		detour := st - o.DirectCost
+		e.Metrics.Served++
+		e.Metrics.ResponseSum += response
+		e.Metrics.DetourSum += detour
+		e.Metrics.ServedExtra += e.Cfg.Alpha*detour + e.Cfg.Beta*response
+	}
+	k := len(g.Orders)
+	if k >= len(e.Metrics.GroupSizeHist) {
+		k = len(e.Metrics.GroupSizeHist) - 1
+	}
+	e.Metrics.GroupSizeHist[k]++
+	if e.onServe != nil {
+		e.onServe(g, now)
+	}
+	return true
+}
+
+// ServeWithWorker charges travel to a specific worker without group
+// accounting; the GDP baseline (whose workers run evolving multi-order
+// schedules) uses it together with ServeOrder.
+func (e *Env) ServeWithWorker(w *order.Worker, addedTravel float64) {
+	w.TravelCost += addedTravel
+	e.Metrics.WorkerTravel += addedTravel
+}
+
+// ServeOrder records a single served order with explicit response and
+// detour times (used by schedule-based baselines).
+func (e *Env) ServeOrder(o *order.Order, response, detour float64) {
+	e.Metrics.Served++
+	e.Metrics.ResponseSum += response
+	e.Metrics.DetourSum += detour
+	e.Metrics.ServedExtra += e.Cfg.Alpha*detour + e.Cfg.Beta*response
+	e.Metrics.GroupSizeHist[1]++
+	if e.onServe != nil {
+		g := &order.Group{Orders: []*order.Order{o}}
+		e.onServe(g, e.Clock)
+	}
+}
+
+// Reject records a rejected order: METRS penalty p(i) plus the Unified
+// Cost rejection term.
+func (e *Env) Reject(o *order.Order, now float64) {
+	e.Metrics.Rejected++
+	e.Metrics.PenaltySum += o.Penalty()
+	e.Metrics.RejectUnified += e.Cfg.UnifiedPenaltyFactor * o.DirectCost
+	if e.onReject != nil {
+		e.onReject(o, now)
+	}
+}
+
+// String summarizes the metrics in one line.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("served=%d rejected=%d extra=%.0fs unified=%.0f rate=%.3f runtime=%.6fs/order",
+		m.Served, m.Rejected, m.ExtraTime(), m.UnifiedCost(), m.ServiceRate(), m.RunningTime())
+}

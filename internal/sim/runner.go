@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"watter/internal/order"
+)
+
+// Algorithm is a dispatch policy driven by the simulator. Hooks are invoked
+// with the environment clock already advanced; implementations dispatch and
+// reject through the Env.
+type Algorithm interface {
+	// Name identifies the algorithm in reports ("WATTER-expect", "GDP", ...).
+	Name() string
+	// Init is called once before the run.
+	Init(env *Env)
+	// OnOrder is called when an order is released.
+	OnOrder(o *order.Order, now float64)
+	// OnTick is called every TickEvery seconds of simulated time (the
+	// paper's asynchronous periodic check).
+	OnTick(now float64)
+	// Finish is called after the last order plus drain period; remaining
+	// pooled orders must be dispatched or rejected here.
+	Finish(now float64)
+}
+
+// RunOptions tunes a simulation run.
+type RunOptions struct {
+	// TickEvery is the periodic-check interval Δt in seconds (paper
+	// default: 10 s).
+	TickEvery float64
+	// DrainSlack is extra simulated time after the last release during
+	// which ticks keep firing so pooled orders resolve. When zero it is
+	// derived from the largest order deadline.
+	DrainSlack float64
+	// MeasureTime enables wall-clock accounting of algorithm hooks
+	// (Metrics.DecisionSeconds). Disable inside benchmarks that measure
+	// externally.
+	MeasureTime bool
+}
+
+// DefaultRunOptions returns the paper's Δt = 10 s with time measurement on.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{TickEvery: 10, MeasureTime: true}
+}
+
+// Run replays the order stream through the algorithm and returns the final
+// metrics. Orders are admitted in release order; the DirectCost field is
+// filled here if unset.
+func Run(env *Env, alg Algorithm, orders []*order.Order, opts RunOptions) *Metrics {
+	if opts.TickEvery <= 0 {
+		opts.TickEvery = 10
+	}
+	sorted := make([]*order.Order, len(orders))
+	copy(sorted, orders)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Release < sorted[j].Release })
+
+	var horizon float64
+	for _, o := range sorted {
+		if o.DirectCost == 0 {
+			o.DirectCost = env.Net.Cost(o.Pickup, o.Dropoff)
+		}
+		if o.Deadline > horizon {
+			horizon = o.Deadline
+		}
+	}
+	if opts.DrainSlack > 0 {
+		if len(sorted) > 0 {
+			horizon = sorted[len(sorted)-1].Release + opts.DrainSlack
+		} else {
+			horizon = opts.DrainSlack
+		}
+	}
+
+	env.Metrics = Metrics{Total: len(sorted)}
+	timed := func(fn func()) {
+		if !opts.MeasureTime {
+			fn()
+			return
+		}
+		start := time.Now()
+		fn()
+		env.Metrics.DecisionSeconds += time.Since(start).Seconds()
+	}
+
+	timed(func() { alg.Init(env) })
+	nextTick := opts.TickEvery
+	for _, o := range sorted {
+		for nextTick <= o.Release {
+			env.Clock = nextTick
+			t := nextTick
+			timed(func() { alg.OnTick(t) })
+			nextTick += opts.TickEvery
+		}
+		env.Clock = o.Release
+		oo := o
+		timed(func() { alg.OnOrder(oo, oo.Release) })
+	}
+	for nextTick <= horizon {
+		env.Clock = nextTick
+		t := nextTick
+		timed(func() { alg.OnTick(t) })
+		nextTick += opts.TickEvery
+	}
+	env.Clock = horizon
+	timed(func() { alg.Finish(horizon) })
+	return &env.Metrics
+}

@@ -1,0 +1,134 @@
+// Package strategy implements WATTER's dispatch decision strategies: the
+// average-extra-time threshold strategy (paper Algorithm 2) plus the two
+// framework baselines, online (dispatch as early as possible) and timeout
+// (dispatch as late as possible). All three plug into the order pooling
+// management algorithm in internal/core.
+package strategy
+
+import (
+	"math"
+
+	"watter/internal/order"
+)
+
+// Decision decides, at each periodic check, whether an order's current best
+// group should be dispatched now or held for a better future group.
+type Decision interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// ShouldDispatch reports whether group g should leave the pool at time
+	// now. groupExpiry is τg, the latest time the group stays feasible.
+	ShouldDispatch(g *order.Group, groupExpiry, now float64) bool
+	// ServeSoloEarly reports whether an order without any shared group
+	// should be served alone before its wait limit elapses. Only the
+	// online variant does; the others hold solo orders until timeout
+	// (Algorithm 1 lines 14-16).
+	ServeSoloEarly() bool
+}
+
+// Online dispatches every group at the first opportunity, mirroring
+// WATTER-online: riders get the shortest possible response times at the
+// price of worse groups.
+type Online struct{}
+
+// Name implements Decision.
+func (Online) Name() string { return "WATTER-online" }
+
+// ShouldDispatch implements Decision: always dispatch.
+func (Online) ShouldDispatch(*order.Group, float64, float64) bool { return true }
+
+// ServeSoloEarly implements Decision. Even the online variant keeps loners
+// pooled: "If o(i) does not have a shareable group, it will remain in the
+// pool and wait" (paper Section III) — what online accelerates is the
+// dispatch of *groups*, not solo rides. Solo service still happens at the
+// wait limit / last call via the framework.
+func (Online) ServeSoloEarly() bool { return false }
+
+// Timeout holds every group as long as possible, mirroring WATTER-timeout:
+// a group is released only when a member exceeded its wait limit or the
+// group is about to expire (the next check would be too late).
+type Timeout struct {
+	// Tick is the periodic-check interval Δt; a group expiring within the
+	// next Tick seconds must go now.
+	Tick float64
+}
+
+// Name implements Decision.
+func (Timeout) Name() string { return "WATTER-timeout" }
+
+// ShouldDispatch implements Decision.
+func (s Timeout) ShouldDispatch(g *order.Group, groupExpiry, now float64) bool {
+	if earliestTimeout(g) <= now {
+		return true
+	}
+	tick := s.Tick
+	if tick <= 0 {
+		tick = 10
+	}
+	return groupExpiry < now+tick
+}
+
+// ServeSoloEarly implements Decision: timeout holds loners to the limit.
+func (Timeout) ServeSoloEarly() bool { return false }
+
+// ThresholdSource supplies the expected extra-time threshold θ(i) for an
+// order in its current spatio-temporal environment. Implementations include
+// the GMM-analytic optimizer (internal/gmm) and the learned value function
+// (internal/mdp, θ = p - V(s)).
+type ThresholdSource interface {
+	Threshold(o *order.Order, now float64) float64
+}
+
+// ConstantThreshold returns the same θ for every order; useful as an
+// ablation and in tests.
+type ConstantThreshold float64
+
+// Threshold implements ThresholdSource.
+func (c ConstantThreshold) Threshold(*order.Order, float64) float64 { return float64(c) }
+
+// Threshold is the paper's Algorithm 2: dispatch when the group's average
+// extra time t̄e is at most the members' average expected threshold θ̄, or
+// when a member has exceeded its wait limit η.
+type Threshold struct {
+	Source      ThresholdSource
+	Alpha, Beta float64
+	// Label overrides Name() (defaults to "WATTER-expect").
+	Label string
+}
+
+// Name implements Decision.
+func (s *Threshold) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "WATTER-expect"
+}
+
+// ShouldDispatch implements Decision (Algorithm 2).
+func (s *Threshold) ShouldDispatch(g *order.Group, groupExpiry, now float64) bool {
+	if earliestTimeout(g) <= now {
+		return true // line 1-3: a member waited beyond its limit
+	}
+	avgExtra := g.AvgExtraTime(now, s.Alpha, s.Beta) // line 4
+	var sum float64                                  // line 5: θ̄
+	for _, o := range g.Orders {
+		sum += s.Source.Threshold(o, now)
+	}
+	avgTheta := sum / float64(len(g.Orders))
+	return avgExtra <= avgTheta // line 6
+}
+
+// ServeSoloEarly implements Decision: loners wait until their limit — by
+// then either a group appeared or they are served alone/rejected.
+func (*Threshold) ServeSoloEarly() bool { return false }
+
+// earliestTimeout returns min_i (t(i) + η(i)) over the group.
+func earliestTimeout(g *order.Group) float64 {
+	earliest := math.Inf(1)
+	for _, o := range g.Orders {
+		if to := o.Release + o.WaitLimit; to < earliest {
+			earliest = to
+		}
+	}
+	return earliest
+}

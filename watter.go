@@ -1,0 +1,135 @@
+// Package watter is the public API of this reproduction of "Wait to be
+// Faster: a Smart Pooling Framework for Dynamic Ridesharing" (ICDE 2024).
+//
+// The package re-exports the pieces a downstream user composes:
+//
+//   - road networks and synthetic cities (CityNYC/CityCDC/CityXIA, or any
+//     roadnet.Network),
+//   - the order pooling framework with its three dispatch strategies
+//     (NewOnline, NewTimeout, NewExpect),
+//   - the GDP and GAS baselines (NewGDP, NewGAS),
+//   - the platform simulator (NewEnvironment, Run), and
+//   - the offline pipeline behind WATTER-expect (TrainExpect).
+//
+// The quickest start:
+//
+//	city := watter.CityCDC().Build()
+//	orders := city.Orders(watter.WorkloadConfig{Orders: 2000, Seed: 1})
+//	workers := city.Workers(170, 4, 2)
+//	env := watter.NewEnvironment(city.Net, workers, watter.DefaultConfig())
+//	metrics := watter.Run(env, watter.NewOnline(), orders, watter.DefaultRunOptions())
+//	fmt.Println(metrics)
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package watter
+
+import (
+	"watter/internal/core"
+	"watter/internal/dataset"
+	"watter/internal/exp"
+	"watter/internal/order"
+	"watter/internal/pool"
+	"watter/internal/roadnet"
+	"watter/internal/sim"
+	"watter/internal/strategy"
+)
+
+// Re-exported domain types.
+type (
+	// Order is a ride request (paper Definition 1).
+	Order = order.Order
+	// Worker is a driver/vehicle (paper Definition 2).
+	Worker = order.Worker
+	// Group is a set of orders sharing one route.
+	Group = order.Group
+	// Metrics carries the four evaluation measurements.
+	Metrics = sim.Metrics
+	// Env is the simulated ridesharing platform.
+	Env = sim.Env
+	// Config fixes platform parameters (alpha/beta, grid size, capacity).
+	Config = sim.Config
+	// RunOptions tunes a simulation run (Δt, drain, timing).
+	RunOptions = sim.RunOptions
+	// Algorithm is any dispatch policy the simulator can drive.
+	Algorithm = sim.Algorithm
+	// WorkloadConfig parameterizes synthetic order generation.
+	WorkloadConfig = dataset.WorkloadConfig
+	// CityProfile describes a synthetic city's demand structure.
+	CityProfile = dataset.Profile
+	// City is a materialized synthetic city.
+	City = dataset.City
+	// Network is the travel-time oracle all components share.
+	Network = roadnet.Network
+	// PoolOptions tunes the temporal shareability graph.
+	PoolOptions = pool.Options
+	// ExperimentParams is one experiment configuration point.
+	ExperimentParams = exp.Params
+	// ExperimentResult is one (algorithm, configuration) measurement.
+	ExperimentResult = exp.Result
+)
+
+// City profiles mirroring the paper's three datasets.
+var (
+	CityNYC = dataset.NYC
+	CityCDC = dataset.CDC
+	CityXIA = dataset.XIA
+)
+
+// DefaultConfig returns the paper's default platform parameters.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// DefaultRunOptions returns Δt = 10 s with timing enabled.
+func DefaultRunOptions() RunOptions { return sim.DefaultRunOptions() }
+
+// DefaultPoolOptions returns the default shareability-graph tuning.
+func DefaultPoolOptions() PoolOptions { return pool.DefaultOptions() }
+
+// NewEnvironment builds a simulated platform over a network and fleet.
+func NewEnvironment(net Network, workers []*Worker, cfg Config) *Env {
+	return sim.NewEnv(net, workers, cfg)
+}
+
+// Run drives an algorithm over an order stream and returns its metrics.
+func Run(env *Env, alg Algorithm, orders []*Order, opts RunOptions) *Metrics {
+	return sim.Run(env, alg, orders, opts)
+}
+
+// NewOnline returns the WATTER-online variant: every shared group is
+// dispatched at the first periodic check after it forms.
+func NewOnline() Algorithm {
+	return core.New(strategy.Online{}, pool.DefaultOptions())
+}
+
+// NewTimeout returns the WATTER-timeout variant: groups are held as long
+// as their feasibility horizon allows.
+func NewTimeout() Algorithm {
+	return core.New(strategy.Timeout{Tick: 10}, pool.DefaultOptions())
+}
+
+// NewConstantThreshold returns the threshold strategy with a fixed θ for
+// every order — the simplest instantiation of Algorithm 2, useful as a
+// baseline and for exploring the threshold's effect.
+func NewConstantThreshold(theta float64) Algorithm {
+	return core.New(&strategy.Threshold{
+		Source: strategy.ConstantThreshold(theta), Alpha: 1, Beta: 1,
+	}, pool.DefaultOptions())
+}
+
+// NewGDP returns the online greedy-insertion baseline.
+func NewGDP() Algorithm { return exp.MustBuild("GDP", exp.DefaultParams(dataset.CDC())) }
+
+// NewGAS returns the batch-based additive-tree baseline.
+func NewGAS() Algorithm { return exp.MustBuild("GAS", exp.DefaultParams(dataset.CDC())) }
+
+// TrainExpect runs the full offline pipeline (behavior simulation → GMM fit
+// → value-network training) and returns the ready-to-run WATTER-expect
+// algorithm for the given experiment parameters.
+func TrainExpect(p ExperimentParams) (Algorithm, error) {
+	return exp.NewRunner().Build("WATTER-expect", p)
+}
+
+// DefaultExperimentParams returns the scaled-down per-city defaults used by
+// the benchmark harness.
+func DefaultExperimentParams(city CityProfile) ExperimentParams {
+	return exp.DefaultParams(city)
+}

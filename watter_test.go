@@ -1,0 +1,68 @@
+package watter
+
+import (
+	"testing"
+
+	"watter/internal/dataset"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	city := CityXIA().Build()
+	orders := city.Orders(WorkloadConfig{Orders: 300, Seed: 1})
+	workers := city.Workers(30, 4, 2)
+	env := NewEnvironment(city.Net, workers, DefaultConfig())
+	opts := DefaultRunOptions()
+	opts.MeasureTime = false
+	m := Run(env, NewOnline(), orders, opts)
+	if m.Served+m.Rejected != len(orders) {
+		t.Fatalf("accounting: %+v", m)
+	}
+	if m.ServiceRate() <= 0 {
+		t.Fatal("nothing served through the facade")
+	}
+}
+
+func TestFacadeStrategies(t *testing.T) {
+	for _, alg := range []Algorithm{NewOnline(), NewTimeout(), NewConstantThreshold(90), NewGDP(), NewGAS()} {
+		if alg == nil || alg.Name() == "" {
+			t.Fatalf("constructor returned unusable algorithm: %v", alg)
+		}
+	}
+}
+
+func TestFacadeTrainExpect(t *testing.T) {
+	p := DefaultExperimentParams(CityXIA())
+	p.Orders = 300
+	p.Workers = 30
+	p.Train.HistoricalOrders = 200
+	p.Train.TrainSteps = 50
+	alg, err := TrainExpect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Name() != "WATTER-expect" {
+		t.Fatalf("name = %q", alg.Name())
+	}
+	city := CityXIA().Build()
+	orders := city.Orders(WorkloadConfig{Orders: 300, Seed: 9})
+	env := NewEnvironment(city.Net, city.Workers(30, 4, 5), DefaultConfig())
+	opts := DefaultRunOptions()
+	opts.MeasureTime = false
+	m := Run(env, alg, orders, opts)
+	if m.Served+m.Rejected != len(orders) {
+		t.Fatalf("accounting: %+v", m)
+	}
+}
+
+func TestCityProfilesExported(t *testing.T) {
+	for _, f := range []func() CityProfile{CityNYC, CityCDC, CityXIA} {
+		p := f()
+		if p.Name == "" || p.W <= 0 {
+			t.Fatalf("bad profile %+v", p)
+		}
+	}
+	// Facade profiles must be the dataset package's.
+	if CityNYC().Name != dataset.NYC().Name {
+		t.Fatal("facade drifted from dataset package")
+	}
+}
