@@ -1,0 +1,38 @@
+# Mirrors .github/workflows/ci.yml: `make ci` runs exactly what CI runs.
+
+GO ?= go
+
+.PHONY: build test race bench lint fmt ci benchsweep clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke-run every benchmark once (no timing stability, just "they run").
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+lint:
+	@fmtout="$$(gofmt -l .)"; \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+ci: lint build test race bench
+
+# Regenerate the sequential-vs-parallel engine baseline.
+benchsweep:
+	$(GO) run ./cmd/watterbench -benchsweep BENCH_sweep.json
+
+clean:
+	$(GO) clean
+	rm -f watterbench wattersim wattertrain

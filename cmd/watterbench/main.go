@@ -1,21 +1,28 @@
 // Command watterbench regenerates the paper's evaluation: every figure
 // sweep (Figures 3-6, the appendix parameter studies, and this repo's
-// ablations) on any of the three synthetic cities.
+// ablations) on any of the three synthetic cities, executed over the
+// parallel sweep engine.
 //
 // Usage:
 //
-//	watterbench -fig fig3 -city cdc            # one figure, one city
-//	watterbench -fig all -city all -scale 0.25 # the whole evaluation, tiny
-//	watterbench -list                          # enumerate sweeps
+//	watterbench -fig fig3 -city cdc                  # one figure, one city
+//	watterbench -fig all -city all -scale 0.25       # the whole evaluation, tiny
+//	watterbench -fig fig5 -replicates 5 -parallel 8  # mean ± CI across seeds
+//	watterbench -benchsweep BENCH_sweep.json         # sequential-vs-parallel timing
+//	watterbench -list                                # enumerate sweeps
 //
 // The -scale flag multiplies order and worker counts; 1.0 is the harness
 // default (~1/25 of paper scale), 25 approximates the paper's full scale.
+// -parallel bounds concurrent simulation jobs (0 = GOMAXPROCS); results
+// are bit-identical at any parallelism.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"watter/internal/dataset"
@@ -24,14 +31,17 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "fig3", "sweep id (fig3..fig6, grid, eta, dt, gmm, omega, or 'all')")
-		city    = flag.String("city", "cdc", "city: nyc, cdc, xia, or 'all'")
-		scale   = flag.Float64("scale", 1, "order/worker count multiplier")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		quiet   = flag.Bool("quiet", false, "suppress per-run progress")
-		list    = flag.Bool("list", false, "list available sweeps and exit")
-		algsCSV = flag.String("algs", "", "comma-separated algorithm subset (default: sweep's own)")
-		csvPath = flag.String("csv", "", "also append tidy per-cell rows to this CSV file")
+		fig        = flag.String("fig", "fig3", "sweep id (fig3..fig6, grid, eta, dt, gmm, omega, or 'all')")
+		city       = flag.String("city", "cdc", "city: nyc, cdc, xia, or 'all'")
+		scale      = flag.Float64("scale", 1, "order/worker count multiplier")
+		seed       = flag.Int64("seed", 1, "workload seed (first replicate)")
+		replicates = flag.Int("replicates", 1, "seed replicates per cell (reported as mean ± CI)")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulation jobs (0 = GOMAXPROCS)")
+		quiet      = flag.Bool("quiet", false, "suppress per-run progress")
+		list       = flag.Bool("list", false, "list available sweeps and exit")
+		algsCSV    = flag.String("algs", "", "comma-separated algorithm subset (default: sweep's own)")
+		csvPath    = flag.String("csv", "", "also append tidy per-cell rows to this CSV file")
+		benchsweep = flag.String("benchsweep", "", "run the sequential-vs-parallel engine benchmark and write its JSON report to this file")
 	)
 	flag.Parse()
 
@@ -39,6 +49,13 @@ func main() {
 		base := exp.DefaultParams(dataset.CDC())
 		for _, s := range exp.FigureSweeps(base) {
 			fmt.Printf("%-8s %s  points=%v\n", s.ID, s.Label, s.Points)
+		}
+		return
+	}
+	if *benchsweep != "" {
+		if err := runBenchSweep(*benchsweep, *scale, *seed, *parallel, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -59,6 +76,7 @@ func main() {
 	if !*quiet {
 		runner.Out = os.Stderr
 	}
+	engine := &exp.SweepRunner{Runner: runner, Parallel: *parallel}
 	var csvFile *os.File
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -95,18 +113,124 @@ func main() {
 			if *algsCSV != "" {
 				s.Algs = strings.Split(*algsCSV, ",")
 			}
-			results, err := runner.RunSweep(s, base)
+			if *replicates > 1 {
+				seeds := exp.ReplicateSeeds(*seed, *replicates)
+				results, cells, err := engine.RunFigureSeeds(s, base, seeds)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("== %s / %s — varying %s, %d replicates ==\n", s.ID, cityProfile.Name, s.Label, *replicates)
+				exp.PrintCells(os.Stdout, cells)
+				fmt.Println()
+				writeCSV(csvFile, s.ID, results)
+				continue
+			}
+			results, err := engine.RunFigure(s, base)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			exp.PrintSweep(os.Stdout, s, cityProfile, results)
-			if csvFile != nil {
-				if err := exp.WriteCSV(csvFile, s.ID, results); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-			}
+			writeCSV(csvFile, s.ID, results)
 		}
 	}
+}
+
+func writeCSV(f *os.File, sweepID string, results []*exp.Result) {
+	if f == nil {
+		return
+	}
+	if err := exp.WriteCSV(f, sweepID, results); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// benchReport is the JSON shape of the engine benchmark (BENCH_sweep.json).
+type benchReport struct {
+	City              string  `json:"city"`
+	Jobs              int     `json:"jobs"`
+	Cells             int     `json:"cells"`
+	Scale             float64 `json:"scale"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Parallel          int     `json:"parallel"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+	Identical         bool    `json:"metrics_bit_identical"`
+}
+
+// runBenchSweep times one fixed CDC matrix (strategies + baselines x order
+// loads x 2 seeds) sequentially and in parallel, verifies the two runs
+// produced bit-identical metrics, and writes the JSON report other PRs use
+// as the perf trajectory baseline.
+func runBenchSweep(path string, scale float64, seed int64, parallel int, quiet bool) error {
+	base := exp.DefaultParams(dataset.CDC())
+	base.Seed = seed
+	base.Orders = int(float64(base.Orders) * scale)
+	base.Workers = int(float64(base.Workers) * scale)
+	m := exp.Matrix{
+		Base: base,
+		// WATTER-expect is excluded: its offline training is a one-time,
+		// cached cost that would swamp the sweep-throughput signal.
+		Algs:   []string{"GDP", "GAS", "WATTER-online", "WATTER-timeout"},
+		Orders: []int{base.Orders, base.Orders * 5 / 4},
+		Seeds:  []int64{seed, seed + 1},
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	logf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+
+	logf("benchsweep: %d jobs sequentially...\n", len(m.Jobs()))
+	seq, err := (&exp.SweepRunner{Runner: exp.NewRunner(), Parallel: 1}).Run(m)
+	if err != nil {
+		return err
+	}
+	logf("benchsweep: %d jobs at parallel=%d...\n", len(m.Jobs()), parallel)
+	par, err := (&exp.SweepRunner{Runner: exp.NewRunner(), Parallel: parallel}).Run(m)
+	if err != nil {
+		return err
+	}
+
+	identical := true
+	for i := range seq.Results {
+		a, b := *seq.Results[i].Metrics, *par.Results[i].Metrics
+		a.DecisionSeconds, b.DecisionSeconds = 0, 0
+		if a != b {
+			identical = false
+			break
+		}
+	}
+	rep := benchReport{
+		City:              "CDC",
+		Jobs:              len(seq.Jobs),
+		Cells:             len(seq.Cells),
+		Scale:             scale,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Parallel:          parallel,
+		SequentialSeconds: seq.Elapsed.Seconds(),
+		ParallelSeconds:   par.Elapsed.Seconds(),
+		Speedup:           seq.Elapsed.Seconds() / par.Elapsed.Seconds(),
+		Identical:         identical,
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchsweep: %d jobs  sequential=%.2fs  parallel(%d)=%.2fs  speedup=%.2fx  identical=%v\n",
+		rep.Jobs, rep.SequentialSeconds, rep.Parallel, rep.ParallelSeconds, rep.Speedup, rep.Identical)
+	if !identical {
+		return fmt.Errorf("benchsweep: parallel run diverged from sequential metrics")
+	}
+	return nil
 }

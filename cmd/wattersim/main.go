@@ -6,6 +6,11 @@
 //
 //	wattersim -city nyc -alg WATTER-expect -n 3000 -m 220
 //	wattersim -alg GDP -tau 1.2
+//	wattersim -alg WATTER-timeout -replicates 8 -parallel 4
+//
+// With -replicates R the same configuration runs under R consecutive
+// seeds (concurrently, bounded by -parallel) and the four paper metrics
+// are reported as mean ± 95% CI.
 package main
 
 import (
@@ -19,16 +24,18 @@ import (
 
 func main() {
 	var (
-		city  = flag.String("city", "cdc", "city: nyc, cdc, xia")
-		alg   = flag.String("alg", "WATTER-expect", "algorithm: GDP, GAS, WATTER-online, WATTER-timeout, WATTER-expect")
-		n     = flag.Int("n", 0, "order count (0 = city default)")
-		m     = flag.Int("m", 0, "worker count (0 = city default)")
-		tau   = flag.Float64("tau", 1.6, "deadline scale")
-		eta   = flag.Float64("eta", 0.8, "watching window scale")
-		kw    = flag.Int("kw", 4, "max vehicle capacity")
-		dt    = flag.Float64("dt", 10, "periodic check interval Δt (s)")
-		seed  = flag.Int64("seed", 1, "workload seed")
-		model = flag.String("model", "", "run WATTER-expect from a saved wattertrain bundle instead of retraining")
+		city       = flag.String("city", "cdc", "city: nyc, cdc, xia")
+		alg        = flag.String("alg", "WATTER-expect", "algorithm: GDP, GAS, WATTER-online, WATTER-timeout, WATTER-expect")
+		n          = flag.Int("n", 0, "order count (0 = city default)")
+		m          = flag.Int("m", 0, "worker count (0 = city default)")
+		tau        = flag.Float64("tau", 1.6, "deadline scale")
+		eta        = flag.Float64("eta", 0.8, "watching window scale")
+		kw         = flag.Int("kw", 4, "max vehicle capacity")
+		dt         = flag.Float64("dt", 10, "periodic check interval Δt (s)")
+		seed       = flag.Int64("seed", 1, "workload seed (first replicate)")
+		replicates = flag.Int("replicates", 1, "seed replicates (metrics become mean ± CI)")
+		parallel   = flag.Int("parallel", 0, "max concurrent replicate runs (0 = GOMAXPROCS)")
+		model      = flag.String("model", "", "run WATTER-expect from a saved wattertrain bundle instead of retraining")
 	)
 	flag.Parse()
 
@@ -49,6 +56,9 @@ func main() {
 	p.MaxCap = *kw
 	p.TickEvery = *dt
 	p.Seed = *seed
+	// Pin the offline pipeline to the first seed so replicates share one
+	// trained model (identical to p.Seed for single runs).
+	p.Train.Seed = *seed
 
 	runner := exp.NewRunner()
 	runner.Out = os.Stderr
@@ -69,6 +79,10 @@ func main() {
 			os.Exit(1)
 		}
 		runner.UseModel(p, loaded)
+	}
+	if *replicates > 1 {
+		runReplicated(runner, *alg, p, *replicates, *parallel, profile)
+		return
 	}
 	res, err := runner.RunOne(*alg, p)
 	if err != nil {
@@ -100,4 +114,28 @@ func safeDiv(a float64, b int) float64 {
 		return 0
 	}
 	return a / float64(b)
+}
+
+// runReplicated executes the configuration across consecutive seeds on the
+// sweep engine and reports cross-seed summaries.
+func runReplicated(runner *exp.Runner, alg string, p exp.Params, replicates, parallel int, profile dataset.Profile) {
+	engine := &exp.SweepRunner{Runner: runner, Parallel: parallel}
+	res, err := engine.Run(exp.Matrix{
+		Base:  p,
+		Algs:  []string{alg},
+		Seeds: exp.ReplicateSeeds(p.Seed, replicates),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c := res.Cells[0]
+	fmt.Printf("city=%s alg=%s n=%d m=%d tau=%.2f eta=%.2f Kw=%d dt=%.0fs replicates=%d seeds=%v\n",
+		profile.Name, alg, p.Orders, p.Workers, p.TauScale, p.Eta, p.MaxCap, p.TickEvery,
+		replicates, c.Seeds)
+	fmt.Printf("  extra time (Φ):   %s\n", c.ExtraTime)
+	fmt.Printf("  unified cost:     %s\n", c.UnifiedCost)
+	fmt.Printf("  service rate:     %s\n", c.ServiceRate)
+	fmt.Printf("  running time:     %s s/order\n", c.RunningTime)
+	fmt.Printf("  wall time:        %.2fs total, %s s/run\n", res.Elapsed.Seconds(), c.Elapsed)
 }

@@ -1,0 +1,3 @@
+module watter
+
+go 1.24

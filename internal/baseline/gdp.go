@@ -169,16 +169,19 @@ func remaining(st *workerState) *route.Schedule {
 }
 
 // OnTick implements sim.Algorithm: advance schedules so dropoff metrics
-// land near their actual completion times.
+// land near their actual completion times. Iterates the worker slice, not
+// the states map: metric sums are floating-point, so accumulation order
+// must not depend on Go's randomized map iteration or identical seeds
+// would produce run-to-run metric drift.
 func (g *GDP) OnTick(now float64) {
-	for _, st := range g.states {
-		g.advance(st, now)
+	for _, w := range g.env.Workers {
+		g.advance(g.states[w.ID], now)
 	}
 }
 
 // Finish implements sim.Algorithm: run all schedules to completion.
 func (g *GDP) Finish(now float64) {
-	for _, st := range g.states {
-		g.advance(st, math.Inf(1))
+	for _, w := range g.env.Workers {
+		g.advance(g.states[w.ID], math.Inf(1))
 	}
 }

@@ -7,12 +7,13 @@ import (
 )
 
 // WriteCSV emits sweep results as tidy rows (one row per algorithm ×
-// sweep-point) for external plotting: sweep, city, x, algorithm, the four
-// metrics and the raw served/rejected counts.
+// sweep-point × seed) for external plotting: sweep, city, x, algorithm,
+// seed (distinguishes replicate rows), the four metrics and the raw
+// served/rejected counts.
 func WriteCSV(w io.Writer, sweepID string, results []*Result) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"sweep", "city", "x", "algorithm",
+		"sweep", "city", "x", "algorithm", "seed",
 		"extra_time_s", "unified_cost", "service_rate", "running_time_s_per_order",
 		"served", "rejected", "avg_group_size",
 	}
@@ -26,6 +27,7 @@ func WriteCSV(w io.Writer, sweepID string, results []*Result) error {
 			r.Params.City.Name,
 			fmt.Sprintf("%g", r.X),
 			r.Alg,
+			fmt.Sprintf("%d", r.Params.Seed),
 			fmt.Sprintf("%.3f", m.ExtraTime()),
 			fmt.Sprintf("%.3f", m.UnifiedCost()),
 			fmt.Sprintf("%.6f", m.ServiceRate()),

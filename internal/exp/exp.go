@@ -7,6 +7,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"watter/internal/baseline"
@@ -44,6 +45,19 @@ type TrainParams struct {
 	GMMComponents    int
 	Omega            float64
 	Hidden           []int
+	// Seed pins the offline pipeline's random seed independently of the
+	// evaluation seed. Zero means "follow Params.Seed" (every evaluation
+	// seed trains its own model); the sweep engine sets it so replicate
+	// runs share one trained model instead of retraining per seed.
+	Seed int64
+}
+
+// trainSeed returns the seed driving the offline pipeline.
+func trainSeed(p Params) int64 {
+	if p.Train.Seed != 0 {
+		return p.Train.Seed
+	}
+	return p.Seed
 }
 
 // DefaultParams returns the scaled-down defaults used by the benchmark
@@ -80,20 +94,54 @@ type Result struct {
 var AlgNames = []string{"GDP", "GAS", "WATTER-expect", "WATTER-online", "WATTER-timeout"}
 
 // Runner caches trained models per (city, train-config) so sweeps don't
-// retrain for every point.
+// retrain for every point, and built cities per profile so concurrent runs
+// share one road network (and, for Graph-backed networks, one distance
+// cache). Runner is safe for concurrent use by the sweep engine: training
+// is deduplicated per model key, so N workers needing the same model block
+// on a single training pass.
 type Runner struct {
-	models map[string]*Trained
+	mu     sync.Mutex
+	models map[string]*trainedEntry
+	cities map[string]*dataset.City
 	// Out receives progress lines; nil silences them.
-	Out io.Writer
+	Out   io.Writer
+	outMu sync.Mutex
+}
+
+// trainedEntry memoizes one offline training run (singleflight per key).
+type trainedEntry struct {
+	once sync.Once
+	m    *Trained
 }
 
 // NewRunner returns an empty runner.
-func NewRunner() *Runner { return &Runner{models: make(map[string]*Trained)} }
+func NewRunner() *Runner {
+	return &Runner{
+		models: make(map[string]*trainedEntry),
+		cities: make(map[string]*dataset.City),
+	}
+}
 
 func (r *Runner) logf(format string, args ...any) {
 	if r.Out != nil {
+		r.outMu.Lock()
 		fmt.Fprintf(r.Out, format, args...)
+		r.outMu.Unlock()
 	}
+}
+
+// city returns the shared built city for a profile. Cities are stateless
+// after construction (the workload RNG lives in the caller), so one
+// instance can serve many concurrent runs.
+func (r *Runner) city(p dataset.Profile) *dataset.City {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.cities[p.Name]; ok {
+		return c
+	}
+	c := p.Build()
+	r.cities[p.Name] = c
+	return c
 }
 
 // Trained bundles the offline artifacts behind WATTER-expect. Net is the
@@ -109,7 +157,15 @@ type Trained struct {
 
 // Workload materializes the orders and workers for a configuration.
 func Workload(p Params) (*dataset.City, []*order.Order, []*order.Worker) {
-	city := p.City.Build()
+	return workloadIn(p.City.Build(), p)
+}
+
+// workload is Workload over the runner's shared city instance.
+func (r *Runner) workload(p Params) (*dataset.City, []*order.Order, []*order.Worker) {
+	return workloadIn(r.city(p.City), p)
+}
+
+func workloadIn(city *dataset.City, p Params) (*dataset.City, []*order.Order, []*order.Worker) {
 	orders := city.Orders(dataset.WorkloadConfig{
 		Orders: p.Orders, Seed: p.Seed, TauScale: p.TauScale, Eta: p.Eta,
 	})
@@ -139,15 +195,27 @@ func poolOptions(p Params) pool.Options {
 // blended TD + target loss.
 func (r *Runner) Train(p Params) *Trained {
 	key := modelKey(p)
-	if m, ok := r.models[key]; ok {
-		return m
+	r.mu.Lock()
+	e, ok := r.models[key]
+	if !ok {
+		e = &trainedEntry{}
+		r.models[key] = e
 	}
+	r.mu.Unlock()
+	// Singleflight: concurrent callers needing the same model block here
+	// while exactly one of them trains it.
+	e.once.Do(func() { e.m = r.train(p) })
+	return e.m
+}
+
+func (r *Runner) train(p Params) *Trained {
 	start := time.Now()
-	city := p.City.Build()
+	seed := trainSeed(p)
+	city := r.city(p.City)
 	hist := city.Orders(dataset.WorkloadConfig{
-		Orders: p.Train.HistoricalOrders, Seed: p.Seed + 77, TauScale: p.TauScale, Eta: p.Eta,
+		Orders: p.Train.HistoricalOrders, Seed: seed + 77, TauScale: p.TauScale, Eta: p.Eta,
 	})
-	workers := city.Workers(p.Workers, p.MaxCap, p.Seed+1077)
+	workers := city.Workers(p.Workers, p.MaxCap, seed+1077)
 	env := newEnv(city, workers, p)
 	feat := mdp.NewFeaturizer(env.Index, horizonOf(hist))
 	feat.SlotSeconds = p.TickEvery
@@ -168,7 +236,7 @@ func (r *Runner) Train(p Params) *Trained {
 	var model *gmm.Model
 	if len(extraTimes) >= 10 {
 		fitted, err := gmm.Fit(extraTimes, gmm.FitOptions{
-			K: p.Train.GMMComponents, MaxIters: 200, Tol: 1e-6, Seed: p.Seed, MinStdDev: 1,
+			K: p.Train.GMMComponents, MaxIters: 200, Tol: 1e-6, Seed: seed, MinStdDev: 1,
 		})
 		if err == nil {
 			model = fitted
@@ -183,21 +251,19 @@ func (r *Runner) Train(p Params) *Trained {
 	tcfg := mdp.DefaultTrainerConfig()
 	tcfg.Omega = p.Train.Omega
 	tcfg.Hidden = p.Train.Hidden
-	tcfg.Seed = p.Seed
+	tcfg.Seed = seed
 	trainer := mdp.NewTrainer(feat.Dim(), tcfg)
 	fw2 := core.New(&strategy.Threshold{Source: theta, Alpha: 1, Beta: 1}, poolOptions(p))
 	fw2.Tick = p.TickEvery
 	col := mdp.NewCollector(fw2, feat, theta, trainer.Add)
-	env2 := newEnv(city, city.Workers(p.Workers, p.MaxCap, p.Seed+1077), p)
+	env2 := newEnv(city, city.Workers(p.Workers, p.MaxCap, seed+1077), p)
 	sim.Run(env2, col, cloneOrders(hist), opts)
 
 	loss := trainer.Train(p.Train.TrainSteps)
 	r.logf("[train %s] samples=%d extra-times=%d loss=%.1f elapsed=%s\n",
 		p.City.Name, trainer.ReplayLen(), len(extraTimes), loss, time.Since(start).Round(time.Millisecond))
 
-	m := &Trained{Feat: feat, Net: trainer.Network(), Trainer: trainer, GMM: model, Theta: theta}
-	r.models[key] = m
-	return m
+	return &Trained{Feat: feat, Net: trainer.Network(), Trainer: trainer, GMM: model, Theta: theta}
 }
 
 // modelKey identifies the offline-model cache entry for a configuration.
@@ -207,14 +273,28 @@ func (r *Runner) Train(p Params) *Trained {
 func modelKey(p Params) string {
 	return fmt.Sprintf("%s/n%d/m%d/tau%.2f/eta%.2f/k%d/g%d/dt%.0f/h%d/s%d/K%d/w%.3f/hid%v",
 		p.City.Name, p.Train.HistoricalOrders, p.Workers, p.TauScale, p.Eta,
-		p.MaxCap, p.GridN, p.TickEvery, p.Train.TrainSteps, p.Seed,
+		p.MaxCap, p.GridN, p.TickEvery, p.Train.TrainSteps, trainSeed(p),
 		p.Train.GMMComponents, p.Train.Omega, p.Train.Hidden)
 }
 
 // UseModel pre-seeds the model cache so a later Build/RunOne of
 // WATTER-expect at these parameters uses the given (typically
 // disk-loaded) model instead of retraining.
-func (r *Runner) UseModel(p Params, m *Trained) { r.models[modelKey(p)] = m }
+func (r *Runner) UseModel(p Params, m *Trained) {
+	e := &trainedEntry{m: m}
+	e.once.Do(func() {}) // mark resolved
+	r.mu.Lock()
+	r.models[modelKey(p)] = e
+	r.mu.Unlock()
+}
+
+// ModelCount reports how many offline models the runner has cached or is
+// currently training (used by tests to verify training deduplication).
+func (r *Runner) ModelCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.models)
+}
 
 // Build constructs a ready-to-run algorithm by name. WATTER-expect
 // triggers (cached) offline training.
@@ -280,7 +360,7 @@ func (r *Runner) RunOne(name string, p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	city, orders, workers := Workload(p)
+	city, orders, workers := r.workload(p)
 	env := newEnv(city, workers, p)
 	start := time.Now()
 	metrics := sim.Run(env, alg, orders, sim.RunOptions{TickEvery: p.TickEvery, MeasureTime: true})

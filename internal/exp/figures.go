@@ -119,26 +119,10 @@ func SweepByID(base Params, id string) (Sweep, error) {
 	return Sweep{}, fmt.Errorf("exp: unknown sweep %q", id)
 }
 
-// RunSweep executes every (point, algorithm) cell of the sweep.
+// RunSweep executes every (point, algorithm) cell of the sweep
+// sequentially. It is the Parallel=1 case of SweepRunner.RunFigure.
 func (r *Runner) RunSweep(s Sweep, base Params) ([]*Result, error) {
-	algs := s.Algs
-	if len(algs) == 0 {
-		algs = AlgNames
-	}
-	var results []*Result
-	for _, x := range s.Points {
-		p := s.Apply(base, x)
-		for _, alg := range algs {
-			res, err := r.RunOne(alg, p)
-			if err != nil {
-				return nil, err
-			}
-			res.Params = p
-			res.X = x
-			results = append(results, res)
-		}
-	}
-	return results, nil
+	return (&SweepRunner{Runner: r, Parallel: 1}).RunFigure(s, base)
 }
 
 // PrintSweep renders the paper-style table: one block per metric, rows =
@@ -184,6 +168,24 @@ func PrintSweep(w io.Writer, s Sweep, city dataset.Profile, results []*Result) {
 		}
 	}
 	fmt.Fprintln(w)
+}
+
+// PrintCells renders matrix cell summaries: one row per cell with the four
+// metrics as "mean ± ci95" across replicate seeds.
+func PrintCells(w io.Writer, cells []CellSummary) {
+	fmt.Fprintf(w, "%-14s %-5s %6s %6s %3s %5s %4s  %-18s %-18s %-16s %-20s %-14s\n",
+		"alg", "city", "n", "m", "Kw", "tau", "reps",
+		"extra_time", "unified_cost", "service_rate", "running_time", "elapsed_s")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-14s %-5s %6d %6d %3d %5.2f %4d  %-18s %-18s %-16s %-20s %-14s\n",
+			c.Alg, c.City, c.Params.Orders, c.Params.Workers, c.Params.MaxCap, c.Params.TauScale,
+			len(c.Seeds),
+			fmt.Sprintf("%.0f±%.0f", c.ExtraTime.Mean, c.ExtraTime.CI95()),
+			fmt.Sprintf("%.0f±%.0f", c.UnifiedCost.Mean, c.UnifiedCost.CI95()),
+			fmt.Sprintf("%.3f±%.3f", c.ServiceRate.Mean, c.ServiceRate.CI95()),
+			fmt.Sprintf("%.2g±%.1g", c.RunningTime.Mean, c.RunningTime.CI95()),
+			fmt.Sprintf("%.2f±%.2f", c.Elapsed.Mean(), c.Elapsed.CI95()))
+	}
 }
 
 func findResult(results []*Result, alg string, x float64) *Result {

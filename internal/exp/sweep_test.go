@@ -1,0 +1,252 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"watter/internal/dataset"
+	"watter/internal/sim"
+)
+
+// tinyParams is the smallest workload that still exercises pooling.
+func tinyParams() Params {
+	p := DefaultParams(dataset.XIA())
+	p.Orders = 150
+	p.Workers = 18
+	p.Train.HistoricalOrders = 120
+	p.Train.TrainSteps = 40
+	p.Train.Hidden = []int{8}
+	return p
+}
+
+func TestMatrixJobsExpansion(t *testing.T) {
+	m := Matrix{
+		Base:      tinyParams(),
+		Algs:      []string{"GDP", "WATTER-online"},
+		Orders:    []int{100, 200},
+		TauScales: []float64{1.4, 1.6},
+		Seeds:     []int64{1, 2, 3},
+	}
+	jobs := m.Jobs()
+	if want := 2 * 2 * 2 * 3; len(jobs) != want {
+		t.Fatalf("jobs = %d, want %d", len(jobs), want)
+	}
+	// Deterministic: a second expansion must be identical.
+	again := m.Jobs()
+	for i := range jobs {
+		if jobs[i].Cell != again[i].Cell || jobs[i].P.Seed != again[i].P.Seed || jobs[i].Alg != again[i].Alg {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, jobs[i], again[i])
+		}
+		if jobs[i].Index != i {
+			t.Fatalf("job %d has Index %d", i, jobs[i].Index)
+		}
+	}
+	// Replicates of one cell must be adjacent and share everything but seed.
+	for i := 0; i < len(jobs); i += 3 {
+		for k := 1; k < 3; k++ {
+			a, b := jobs[i], jobs[i+k]
+			if a.Cell != b.Cell || a.P.Orders != b.P.Orders || a.P.Seed == b.P.Seed {
+				t.Fatalf("replicates misgrouped at %d: %+v vs %+v", i, a, b)
+			}
+		}
+	}
+	// Shared training: every job pins Train.Seed to the first seed.
+	for _, j := range jobs {
+		if j.P.Train.Seed != 1 {
+			t.Fatalf("Train.Seed = %d, want 1", j.P.Train.Seed)
+		}
+	}
+	m.RetrainPerSeed = true
+	for _, j := range m.Jobs() {
+		if j.P.Train.Seed != 0 {
+			t.Fatalf("RetrainPerSeed must leave Train.Seed unset, got %d", j.P.Train.Seed)
+		}
+	}
+}
+
+func TestMatrixDefaultsToBase(t *testing.T) {
+	base := tinyParams()
+	m := Matrix{Base: base, Algs: []string{"GDP"}}
+	jobs := m.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(jobs))
+	}
+	j := jobs[0]
+	if j.P.Orders != base.Orders || j.P.Workers != base.Workers || j.P.Seed != base.Seed {
+		t.Fatalf("base not propagated: %+v", j.P)
+	}
+}
+
+// deterministicFields strips the wall-clock measurements (DecisionSeconds,
+// Elapsed) that legitimately vary between runs.
+func deterministicFields(m *sim.Metrics) string {
+	c := *m
+	c.DecisionSeconds = 0
+	return fmt.Sprintf("%+v", c)
+}
+
+// TestSweepParallelMatchesSequential is the engine's core guarantee: the
+// same matrix produces bit-identical per-seed metrics at any parallelism.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	m := Matrix{
+		Base:   tinyParams(),
+		Algs:   []string{"GDP", "GAS", "WATTER-online", "WATTER-timeout"},
+		Orders: []int{120},
+		Seeds:  []int64{1, 2},
+	}
+	seq, err := (&SweepRunner{Runner: NewRunner(), Parallel: 1}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&SweepRunner{Runner: NewRunner(), Parallel: 8}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Results) != len(par.Results) || len(seq.Results) != len(m.Jobs()) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq.Results), len(par.Results))
+	}
+	for i := range seq.Results {
+		a, b := deterministicFields(seq.Results[i].Metrics), deterministicFields(par.Results[i].Metrics)
+		if a != b {
+			t.Fatalf("job %d (%s seed %d) diverged:\nseq: %s\npar: %s",
+				i, seq.Jobs[i].Cell, seq.Jobs[i].P.Seed, a, b)
+		}
+	}
+	// Aggregates follow: identical per-seed metrics give identical cells.
+	if len(seq.Cells) != len(par.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(seq.Cells), len(par.Cells))
+	}
+	for i := range seq.Cells {
+		if seq.Cells[i].ExtraTime != par.Cells[i].ExtraTime ||
+			seq.Cells[i].ServiceRate != par.Cells[i].ServiceRate ||
+			seq.Cells[i].UnifiedCost != par.Cells[i].UnifiedCost {
+			t.Fatalf("cell %s aggregates diverged", seq.Cells[i].Cell)
+		}
+	}
+}
+
+// TestSweepRepeatable: two runs of the same engine configuration agree —
+// catches residual map-iteration nondeterminism anywhere under sim.Run.
+func TestSweepRepeatable(t *testing.T) {
+	m := Matrix{
+		Base:  tinyParams(),
+		Algs:  []string{"GDP", "WATTER-timeout"},
+		Seeds: []int64{5},
+	}
+	a, err := NewSweepRunner(nil).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSweepRunner(nil).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		if deterministicFields(a.Results[i].Metrics) != deterministicFields(b.Results[i].Metrics) {
+			t.Fatalf("run-to-run divergence on job %d (%s)", i, a.Jobs[i].Cell)
+		}
+	}
+}
+
+// TestSweepSharesTraining: replicate seeds of a WATTER-expect cell must
+// train exactly one model (singleflight under concurrency).
+func TestSweepSharesTraining(t *testing.T) {
+	r := NewRunner()
+	m := Matrix{
+		Base:  tinyParams(),
+		Algs:  []string{"WATTER-expect"},
+		Seeds: []int64{1, 2, 3, 4},
+	}
+	if _, err := (&SweepRunner{Runner: r, Parallel: 4}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.ModelCount(); n != 1 {
+		t.Fatalf("trained %d models for one cell, want 1", n)
+	}
+	// Per-seed retraining still available when asked for.
+	r2 := NewRunner()
+	m.RetrainPerSeed = true
+	if _, err := (&SweepRunner{Runner: r2, Parallel: 4}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if n := r2.ModelCount(); n != 4 {
+		t.Fatalf("RetrainPerSeed trained %d models, want 4", n)
+	}
+}
+
+func TestSweepErrorPropagates(t *testing.T) {
+	m := Matrix{Base: tinyParams(), Algs: []string{"GDP", "no-such-alg"}, Seeds: []int64{1, 2}}
+	for _, parallel := range []int{1, 4} {
+		_, err := (&SweepRunner{Runner: NewRunner(), Parallel: parallel}).Run(m)
+		if err == nil || !strings.Contains(err.Error(), "no-such-alg") {
+			t.Fatalf("parallel=%d: err = %v, want unknown-algorithm error", parallel, err)
+		}
+	}
+}
+
+func TestRunFigureMatchesRunSweep(t *testing.T) {
+	base := tinyParams()
+	s := Sweep{
+		ID: "mini", Label: "tau",
+		Points: []float64{1.4, 1.8},
+		Apply: func(p Params, x float64) Params {
+			p.TauScale = x
+			return p
+		},
+		Algs: []string{"WATTER-online", "GDP"},
+	}
+	seq, err := NewRunner().RunSweep(s, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&SweepRunner{Runner: NewRunner(), Parallel: 4}).RunFigure(s, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Alg != par[i].Alg || seq[i].X != par[i].X {
+			t.Fatalf("ordering diverged at %d: %s/%v vs %s/%v", i, seq[i].Alg, seq[i].X, par[i].Alg, par[i].X)
+		}
+		if deterministicFields(seq[i].Metrics) != deterministicFields(par[i].Metrics) {
+			t.Fatalf("metrics diverged at %d (%s x=%v)", i, seq[i].Alg, seq[i].X)
+		}
+	}
+}
+
+func TestReplicateSeeds(t *testing.T) {
+	got := ReplicateSeeds(7, 3)
+	if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+		t.Fatalf("ReplicateSeeds = %v", got)
+	}
+	if got := ReplicateSeeds(1, 0); len(got) != 1 {
+		t.Fatalf("n<1 must clamp to one seed, got %v", got)
+	}
+}
+
+func TestPrintCells(t *testing.T) {
+	m := Matrix{Base: tinyParams(), Algs: []string{"GDP"}, Seeds: []int64{1, 2}}
+	res, err := NewSweepRunner(nil).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(res.Cells))
+	}
+	c := res.Cells[0]
+	if c.ExtraTime.N != 2 || len(c.Seeds) != 2 {
+		t.Fatalf("cell did not aggregate both seeds: %+v", c)
+	}
+	var buf bytes.Buffer
+	PrintCells(&buf, res.Cells)
+	out := buf.String()
+	for _, needle := range []string{"GDP", "XIA", "service_rate"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("report missing %q:\n%s", needle, out)
+		}
+	}
+}

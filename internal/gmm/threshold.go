@@ -2,6 +2,7 @@ package gmm
 
 import (
 	"math"
+	"sync"
 
 	"watter/internal/order"
 )
@@ -101,9 +102,11 @@ func GradientThreshold(m *Model, p float64, steps int, lr float64) float64 {
 // ThresholdSource adapts a fitted model into the strategy.ThresholdSource
 // interface: each order's threshold is the optimizer's θ*(p(i)). Results
 // are memoized on the penalty value (quantized) because many orders share
-// penalty magnitudes.
+// penalty magnitudes. Safe for concurrent use: trained bundles are shared
+// across parallel replicate runs.
 type ThresholdSource struct {
 	Model *Model
+	mu    sync.Mutex
 	cache map[int64]float64
 }
 
@@ -119,11 +122,18 @@ func (s *ThresholdSource) Threshold(o *order.Order, _ float64) float64 {
 		return 0
 	}
 	key := int64(p * 16) // ~62 ms quantization: plenty for thresholds
-	if v, ok := s.cache[key]; ok {
+	s.mu.Lock()
+	v, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
 		return v
 	}
-	v := OptimalThreshold(s.Model, p)
+	// OptimalThreshold is deterministic in (model, p), so concurrent misses
+	// on one key compute the same value; last store wins harmlessly.
+	v = OptimalThreshold(s.Model, p)
+	s.mu.Lock()
 	s.cache[key] = v
+	s.mu.Unlock()
 	return v
 }
 

@@ -1,0 +1,134 @@
+package roadnet
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"watter/internal/geo"
+)
+
+// TestGraphCostConcurrent hammers the Dijkstra cache from many goroutines
+// and cross-checks every answer against the lattice closed form. Run under
+// -race this is the safety proof for the parallel sweep engine, which
+// shares one Graph across all replicate runs.
+func TestGraphCostConcurrent(t *testing.T) {
+	city := NewGridCity(12, 12, 100, 5)
+	g := city.AsGraph()
+	g.SetCacheSize(16) // force constant eviction pressure
+
+	const goroutines = 16
+	const queries = 400
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			n := g.NumNodes()
+			for q := 0; q < queries; q++ {
+				from := geo.NodeID(rng.Intn(n))
+				to := geo.NodeID(rng.Intn(n))
+				got := g.Cost(from, to)
+				want := city.Cost(from, to)
+				if got != want {
+					select {
+					case errs <- "cost mismatch under concurrency":
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(errs)
+	if msg, open := <-errs; open {
+		t.Fatal(msg)
+	}
+}
+
+// TestGraphPathConcurrent exercises the prev-chain reconstruction (which
+// shares cache entries with Cost) under concurrent eviction.
+func TestGraphPathConcurrent(t *testing.T) {
+	city := NewGridCity(8, 8, 100, 5)
+	g := city.AsGraph()
+	g.SetCacheSize(4)
+
+	var wg sync.WaitGroup
+	bad := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			n := g.NumNodes()
+			for q := 0; q < 200; q++ {
+				from := geo.NodeID(rng.Intn(n))
+				to := geo.NodeID(rng.Intn(n))
+				path := g.Path(from, to)
+				if len(path) == 0 || path[0] != from || path[len(path)-1] != to {
+					select {
+					case bad <- "broken path under concurrency":
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w + 100))
+	}
+	wg.Wait()
+	close(bad)
+	if msg, open := <-bad; open {
+		t.Fatal(msg)
+	}
+}
+
+// TestGraphCacheShrinkEnforced: shrinking the bound below the current
+// population must actually drain the cache on the next miss, not merely
+// stop it growing.
+func TestGraphCacheShrinkEnforced(t *testing.T) {
+	city := NewGridCity(10, 10, 100, 5)
+	g := city.AsGraph()
+	for n := 0; n < 40; n++ {
+		g.Cost(geo.NodeID(n), geo.NodeID(n+1))
+	}
+	g.mu.Lock()
+	grown := len(g.cache)
+	g.mu.Unlock()
+	if grown < 30 {
+		t.Fatalf("warmup cached %d sources, want >= 30", grown)
+	}
+	g.SetCacheSize(4)
+	g.Cost(geo.NodeID(90), geo.NodeID(3)) // one miss triggers eviction
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.cache) > 4 || len(g.order) != len(g.cache) {
+		t.Fatalf("cache not shrunk: %d entries (order %d), want <= 4", len(g.cache), len(g.order))
+	}
+}
+
+// TestGraphSetCacheSizeConcurrent resizes the cache while queries run; the
+// point is purely that -race stays silent.
+func TestGraphSetCacheSizeConcurrent(t *testing.T) {
+	city := NewGridCity(6, 6, 100, 5)
+	g := city.AsGraph()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			g.SetCacheSize(1 + i%8)
+		}
+	}()
+	rng := rand.New(rand.NewSource(9))
+	n := g.NumNodes()
+	for q := 0; q < 500; q++ {
+		from := geo.NodeID(rng.Intn(n))
+		to := geo.NodeID(rng.Intn(n))
+		if got, want := g.Cost(from, to), city.Cost(from, to); got != want {
+			t.Fatalf("cost(%d,%d) = %v, want %v", from, to, got, want)
+		}
+	}
+	<-done
+}

@@ -28,6 +28,10 @@ type Graph struct {
 }
 
 type distEntry struct {
+	// once dedups the Dijkstra computation: the entry is published in the
+	// cache before it is computed, so concurrent misses on the same source
+	// block on one computation instead of each running their own.
+	once sync.Once
 	dist []float32
 	prev []geo.NodeID
 }
@@ -114,12 +118,14 @@ func boundsOf(pts []geo.Point) geo.Rect {
 }
 
 // SetCacheSize bounds the number of cached single-source distance arrays.
-// Must be called before concurrent use.
+// Safe to call at any time; existing entries are evicted lazily.
 func (g *Graph) SetCacheSize(n int) {
 	if n < 1 {
 		n = 1
 	}
+	g.mu.Lock()
 	g.maxCache = n
+	g.mu.Unlock()
 }
 
 // NumNodes implements Network.
@@ -162,25 +168,23 @@ func (g *Graph) Path(from, to geo.NodeID) []geo.NodeID {
 
 func (g *Graph) source(from geo.NodeID) *distEntry {
 	g.mu.Lock()
-	if e, ok := g.cache[from]; ok {
-		g.mu.Unlock()
-		return e
+	e, ok := g.cache[from]
+	if !ok {
+		for len(g.cache) >= g.maxCache {
+			// Evict least recently inserted sources until under the bound
+			// (a loop so a shrunk maxCache is enforced, not just chased).
+			// A goroutine still computing or reading a victim keeps its
+			// own reference; eviction only drops the shared handle.
+			victim := g.order[0]
+			g.order = g.order[1:]
+			delete(g.cache, victim)
+		}
+		e = &distEntry{}
+		g.cache[from] = e
+		g.order = append(g.order, from)
 	}
 	g.mu.Unlock()
-	e := g.dijkstra(from)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if prev, ok := g.cache[from]; ok {
-		return prev // raced with another goroutine; keep the first
-	}
-	if len(g.cache) >= g.maxCache {
-		// Evict the least recently inserted source.
-		victim := g.order[0]
-		g.order = g.order[1:]
-		delete(g.cache, victim)
-	}
-	g.cache[from] = e
-	g.order = append(g.order, from)
+	e.once.Do(func() { e.dist, e.prev = g.dijkstra(from) })
 	return e
 }
 
@@ -198,10 +202,10 @@ func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
 func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
 
-func (g *Graph) dijkstra(src geo.NodeID) *distEntry {
+func (g *Graph) dijkstra(src geo.NodeID) (dist []float32, prev []geo.NodeID) {
 	n := len(g.coords)
-	dist := make([]float32, n)
-	prev := make([]geo.NodeID, n)
+	dist = make([]float32, n)
+	prev = make([]geo.NodeID, n)
 	inf := float32(math.Inf(1))
 	for i := range dist {
 		dist[i] = inf
@@ -224,7 +228,7 @@ func (g *Graph) dijkstra(src geo.NodeID) *distEntry {
 			}
 		}
 	}
-	return &distEntry{dist: dist, prev: prev}
+	return dist, prev
 }
 
 // Precompute runs Dijkstra from every node and pins the results in the

@@ -85,3 +85,82 @@ func (s Summary) CI95() float64 {
 func (s Summary) String() string {
 	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g]", s.Mean, s.CI95(), s.Min, s.Max)
 }
+
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm) with exact pairwise merging (Chan et al.) for combining
+// independently-built accumulators. The sweep engine uses it for
+// per-cell wall-clock summaries, which — unlike the metric summaries —
+// need no retained samples. The zero value is an empty accumulator.
+type Welford struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		w.min = math.Min(w.min, x)
+		w.max = math.Max(w.max, x)
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge folds another accumulator into this one; the result is identical
+// (up to floating-point association) to having Added both streams.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.min = math.Min(w.min, o.min)
+	w.max = math.Max(w.max, o.max)
+	w.n = n
+}
+
+// N returns the observation count.
+func (w Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w Welford) Mean() float64 { return w.mean }
+
+// StdDev returns the sample standard deviation (n-1 denominator; 0 for
+// fewer than two observations).
+func (w Welford) StdDev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (w Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w Welford) Max() float64 { return w.max }
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval around the mean.
+func (w Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// String formats "mean ± ci95 (n)".
+func (w Welford) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", w.Mean(), w.CI95(), w.n)
+}

@@ -89,6 +89,75 @@ func TestMeanBracketsProperty(t *testing.T) {
 	}
 }
 
+func TestWelfordMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 137)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*40 + 7
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	s := Summarize(xs)
+	if w.N() != s.N || w.Min() != s.Min || w.Max() != s.Max {
+		t.Fatalf("welford = %+v, summary = %+v", w, s)
+	}
+	if math.Abs(w.Mean()-s.Mean) > 1e-9 || math.Abs(w.StdDev()-s.StdDev) > 1e-9 {
+		t.Fatalf("mean/stddev drift: %v/%v vs %v/%v", w.Mean(), w.StdDev(), s.Mean, s.StdDev)
+	}
+	if math.Abs(w.CI95()-s.CI95()) > 1e-9 {
+		t.Fatalf("ci95 drift: %v vs %v", w.CI95(), s.CI95())
+	}
+}
+
+// TestWelfordMergeProperty: splitting a stream at any point and merging
+// the two accumulators must agree with the unsplit stream — the invariant
+// the sweep engine relies on to fold per-worker partials.
+func TestWelfordMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 3
+	}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, cut := range []int{0, 1, 13, 50, 100, 101} {
+		var a, b Welford
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() || math.Abs(a.Mean()-whole.Mean()) > 1e-9 ||
+			math.Abs(a.StdDev()-whole.StdDev()) > 1e-9 ||
+			a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Fatalf("merge at %d diverged: %+v vs %+v", cut, a, whole)
+		}
+	}
+}
+
+func TestWelfordZeroValue(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.StdDev() != 0 || w.CI95() != 0 {
+		t.Fatalf("zero value not empty: %+v", w)
+	}
+	var other Welford
+	other.Add(5)
+	w.Merge(other)
+	if w.N() != 1 || w.Mean() != 5 || w.Min() != 5 || w.Max() != 5 {
+		t.Fatalf("merge into empty broken: %+v", w)
+	}
+	w.Merge(Welford{}) // merging empty is a no-op
+	if w.N() != 1 {
+		t.Fatalf("merge of empty changed n: %+v", w)
+	}
+}
+
 func TestCI95ShrinksWithN(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	mk := func(n int) Summary {

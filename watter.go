@@ -31,6 +31,7 @@ import (
 	"watter/internal/pool"
 	"watter/internal/roadnet"
 	"watter/internal/sim"
+	"watter/internal/stats"
 	"watter/internal/strategy"
 )
 
@@ -66,6 +67,18 @@ type (
 	ExperimentParams = exp.Params
 	// ExperimentResult is one (algorithm, configuration) measurement.
 	ExperimentResult = exp.Result
+	// SweepMatrix is a full experiment grid (algorithms × cities × loads ×
+	// capacities × deadlines × replicate seeds).
+	SweepMatrix = exp.Matrix
+	// SweepRunner executes matrices over a bounded worker pool with
+	// bit-identical results at any parallelism.
+	SweepRunner = exp.SweepRunner
+	// SweepResult bundles a matrix execution's raw results and summaries.
+	SweepResult = exp.SweepResult
+	// CellSummary aggregates one configuration cell across replicate seeds.
+	CellSummary = exp.CellSummary
+	// MetricSummary is a cross-seed sample summary (mean/stddev/CI95).
+	MetricSummary = stats.Summary
 )
 
 // City profiles mirroring the paper's three datasets.
@@ -133,3 +146,18 @@ func TrainExpect(p ExperimentParams) (Algorithm, error) {
 func DefaultExperimentParams(city CityProfile) ExperimentParams {
 	return exp.DefaultParams(city)
 }
+
+// NewSweepRunner returns a parallel sweep engine over a fresh experiment
+// runner. Set Parallel to bound concurrency (0 means GOMAXPROCS):
+//
+//	sr := watter.NewSweepRunner()
+//	res, err := sr.Run(watter.SweepMatrix{
+//		Base:  watter.DefaultExperimentParams(watter.CityCDC()),
+//		Algs:  []string{"WATTER-online", "GDP"},
+//		Seeds: watter.ReplicateSeeds(1, 5),
+//	})
+func NewSweepRunner() *SweepRunner { return exp.NewSweepRunner(nil) }
+
+// ReplicateSeeds returns the conventional seed grid base..base+n-1 for n
+// replicate runs.
+func ReplicateSeeds(base int64, n int) []int64 { return exp.ReplicateSeeds(base, n) }
