@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt ci benchsweep clean
+.PHONY: build test race bench lint fmt ci benchsweep benchroute clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,10 @@ ci: lint build test race bench
 # Regenerate the sequential-vs-parallel engine baseline.
 benchsweep:
 	$(GO) run ./cmd/watterbench -benchsweep BENCH_sweep.json
+
+# Regenerate the routing engine vs cold-Dijkstra baseline.
+benchroute:
+	$(GO) run ./cmd/watterbench -benchroute BENCH_routing.json
 
 clean:
 	$(GO) clean

@@ -9,6 +9,7 @@
 //	watterbench -fig all -city all -scale 0.25       # the whole evaluation, tiny
 //	watterbench -fig fig5 -replicates 5 -parallel 8  # mean ± CI across seeds
 //	watterbench -benchsweep BENCH_sweep.json         # sequential-vs-parallel timing
+//	watterbench -benchroute BENCH_routing.json       # routing engine vs cold Dijkstra
 //	watterbench -list                                # enumerate sweeps
 //
 // The -scale flag multiplies order and worker counts; 1.0 is the harness
@@ -21,12 +22,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"watter/internal/dataset"
 	"watter/internal/exp"
+	"watter/internal/geo"
+	"watter/internal/roadnet"
 )
 
 func main() {
@@ -42,6 +48,7 @@ func main() {
 		algsCSV    = flag.String("algs", "", "comma-separated algorithm subset (default: sweep's own)")
 		csvPath    = flag.String("csv", "", "also append tidy per-cell rows to this CSV file")
 		benchsweep = flag.String("benchsweep", "", "run the sequential-vs-parallel engine benchmark and write its JSON report to this file")
+		benchroute = flag.String("benchroute", "", "run the point-to-point routing engine benchmark and write its JSON report to this file")
 	)
 	flag.Parse()
 
@@ -54,6 +61,13 @@ func main() {
 	}
 	if *benchsweep != "" {
 		if err := runBenchSweep(*benchsweep, *scale, *seed, *parallel, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchroute != "" {
+		if err := runBenchRoute(*benchroute, *scale, *seed, *quiet); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -233,4 +247,165 @@ func runBenchSweep(path string, scale float64, seed int64, parallel int, quiet b
 		return fmt.Errorf("benchsweep: parallel run diverged from sequential metrics")
 	}
 	return nil
+}
+
+// routeReport is the JSON shape of the routing engine benchmark
+// (BENCH_routing.json).
+type routeReport struct {
+	City           string  `json:"city"`
+	Nodes          int     `json:"nodes"`
+	Landmarks      int     `json:"landmarks"`
+	Groups         int     `json:"groups"`
+	GroupEvents    int     `json:"group_events"`
+	LegsPerGroup   int     `json:"legs_per_group"`
+	Scale          float64 `json:"scale"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	ColdSSSPSecs   float64 `json:"cold_dijkstra_seconds"`
+	WarmSSSPSecs   float64 `json:"warm_dijkstra_seconds"`
+	EngineSecs     float64 `json:"engine_seconds"`
+	Speedup        float64 `json:"speedup_vs_cold"`
+	SpeedupVsWarm  float64 `json:"speedup_vs_warm"`
+	Identical      bool    `json:"distances_bit_identical"`
+	UnreachablePct float64 `json:"unreachable_pct"`
+}
+
+// runBenchRoute times the planner leg-matrix workload — many-to-many cost
+// matrices over small clusters of pickup/dropoff nodes — on the batched ALT
+// point-to-point engine versus both legacy regimes: a cold full
+// single-source Dijkstra per distinct source (the pre-engine behavior
+// whenever an order's location misses the LRU cache — guaranteed on cities
+// with more nodes than the cache holds, which the default -scale city is)
+// and a warm arm that keeps the LRU across groups (the best case the old
+// path ever achieved, on small cities with recurring locations). It
+// verifies all arms produce bit-identical distances and writes the JSON
+// report that tracks the routing layer's perf trajectory.
+func runBenchRoute(path string, scale float64, seed int64, quiet bool) error {
+	// 70x70 = 4900 nodes at scale 1: above the graph's 4096-entry SSSP
+	// cache, so the legacy warm arm pays real eviction pressure just as
+	// pre-engine production did on any city this size or larger.
+	side := int(70 * math.Sqrt(scale))
+	if side < 12 {
+		side = 12
+	}
+	groups := 192
+	const events = 8 // 4 orders: 4 pickups + 4 dropoffs
+	g := roadnet.NewPerturbedGrid(side, side, 200, 8, 0.3, seed)
+	logf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+	logf("benchroute: %dx%d city (%d nodes, %d landmarks), %d leg matrices of %dx%d\n",
+		side, side, g.NumNodes(), g.NumLandmarks(), groups, events, events)
+
+	// Clustered event nodes: orders that pool into one group are near each
+	// other, so each matrix spans a neighborhood, not the whole city.
+	rng := rand.New(rand.NewSource(seed * 7919))
+	work := make([][]geo.NodeID, groups)
+	for i := range work {
+		cx, cy := rng.Intn(side), rng.Intn(side)
+		grp := make([]geo.NodeID, events)
+		for j := range grp {
+			x := clamp(cx+rng.Intn(13)-6, 0, side-1)
+			y := clamp(cy+rng.Intn(13)-6, 0, side-1)
+			grp[j] = geo.NodeID(y*side + x)
+		}
+		work[i] = grp
+	}
+
+	engineOut := make([][]float64, groups)
+	start := time.Now()
+	for i, grp := range work {
+		row := make([]float64, events*events)
+		roadnet.FillCostMatrix(g, grp, grp, row)
+		engineOut[i] = row
+	}
+	engineSecs := time.Since(start).Seconds()
+
+	ssspOut := make([][]float64, groups)
+	start = time.Now()
+	for i, grp := range work {
+		g.FlushCache() // each group's sources are fresh: cold path
+		row := make([]float64, events*events)
+		for a, s := range grp {
+			for b, t := range grp {
+				row[a*events+b] = g.CostSSSP(s, t)
+			}
+		}
+		ssspOut[i] = row
+	}
+	ssspSecs := time.Since(start).Seconds()
+
+	warmOut := make([][]float64, groups)
+	g.FlushCache()
+	start = time.Now()
+	for i, grp := range work {
+		// No flush: the LRU persists across groups like a live sweep.
+		row := make([]float64, events*events)
+		for a, s := range grp {
+			for b, t := range grp {
+				row[a*events+b] = g.CostSSSP(s, t)
+			}
+		}
+		warmOut[i] = row
+	}
+	warmSecs := time.Since(start).Seconds()
+
+	identical := true
+	unreachable := 0
+	for i := range engineOut {
+		for j := range engineOut[i] {
+			if engineOut[i][j] != ssspOut[i][j] || engineOut[i][j] != warmOut[i][j] {
+				identical = false
+			}
+			if math.IsInf(engineOut[i][j], 1) {
+				unreachable++
+			}
+		}
+	}
+
+	rep := routeReport{
+		City:           fmt.Sprintf("perturbed-grid-%dx%d", side, side),
+		Nodes:          g.NumNodes(),
+		Landmarks:      g.NumLandmarks(),
+		Groups:         groups,
+		GroupEvents:    events,
+		LegsPerGroup:   events * events,
+		Scale:          scale,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		ColdSSSPSecs:   ssspSecs,
+		WarmSSSPSecs:   warmSecs,
+		EngineSecs:     engineSecs,
+		Speedup:        ssspSecs / engineSecs,
+		SpeedupVsWarm:  warmSecs / engineSecs,
+		Identical:      identical,
+		UnreachablePct: 100 * float64(unreachable) / float64(groups*events*events),
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchroute: %d matrices  cold-dijkstra=%.3fs  warm-dijkstra=%.3fs  engine=%.3fs  speedup=%.1fx (%.1fx vs warm)  identical=%v\n",
+		rep.Groups, rep.ColdSSSPSecs, rep.WarmSSSPSecs, rep.EngineSecs, rep.Speedup, rep.SpeedupVsWarm, rep.Identical)
+	if !identical {
+		return fmt.Errorf("benchroute: engine distances diverged from the Dijkstra reference")
+	}
+	if rep.Speedup <= 1 {
+		return fmt.Errorf("benchroute: engine (%.3fs) did not beat the cold Dijkstra path (%.3fs)", engineSecs, ssspSecs)
+	}
+	return nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }

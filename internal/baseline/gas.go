@@ -4,7 +4,9 @@ import (
 	"math"
 	"sort"
 
+	"watter/internal/geo"
 	"watter/internal/order"
+	"watter/internal/roadnet"
 	"watter/internal/sim"
 )
 
@@ -32,6 +34,11 @@ type GAS struct {
 	env       *sim.Env
 	pending   map[int]*order.Order
 	nextBatch float64
+
+	// Batching scratch for worker-to-pickup cost rows.
+	candOrders []*order.Order
+	pickupBuf  []geo.NodeID
+	costBuf    []float64
 }
 
 // Name implements sim.Algorithm.
@@ -147,18 +154,41 @@ func (g *GAS) bestAssignment(now float64) (*order.Worker, *order.Group, float64)
 }
 
 // workerCandidates returns the worker's nearest pending orders by pickup.
+// All pickup costs for one worker are resolved in a single batched
+// many-to-many call (one pruned search on a Graph-backed network instead of
+// one full Dijkstra per pending order); unreachable pickups are dropped —
+// no feasible route to them can exist for this worker.
 func (g *GAS) workerCandidates(w *order.Worker, pendingIDs []int, now float64) []*order.Order {
-	type scored struct {
-		o *order.Order
-		c float64
-	}
-	var s []scored
+	g.candOrders = g.candOrders[:0]
+	g.pickupBuf = g.pickupBuf[:0]
 	for _, id := range pendingIDs {
 		o := g.pending[id]
 		if o.Riders > w.Capacity {
 			continue
 		}
-		s = append(s, scored{o, g.env.Net.Cost(w.Loc, o.Pickup)})
+		g.candOrders = append(g.candOrders, o)
+		g.pickupBuf = append(g.pickupBuf, o.Pickup)
+	}
+	if len(g.candOrders) == 0 {
+		return nil
+	}
+	if cap(g.costBuf) < len(g.pickupBuf) {
+		g.costBuf = make([]float64, len(g.pickupBuf))
+	}
+	g.costBuf = g.costBuf[:len(g.pickupBuf)]
+	src := [1]geo.NodeID{w.Loc}
+	roadnet.FillCostMatrix(g.env.Net, src[:], g.pickupBuf, g.costBuf)
+
+	type scored struct {
+		o *order.Order
+		c float64
+	}
+	var s []scored
+	for i, o := range g.candOrders {
+		if math.IsInf(g.costBuf[i], 1) {
+			continue
+		}
+		s = append(s, scored{o, g.costBuf[i]})
 	}
 	sort.Slice(s, func(i, j int) bool {
 		if s[i].c != s[j].c {

@@ -7,6 +7,9 @@
 package core
 
 import (
+	"math"
+
+	"watter/internal/geo"
 	"watter/internal/order"
 	"watter/internal/pool"
 	"watter/internal/sim"
@@ -110,28 +113,65 @@ func (f *Framework) Finish(now float64) {
 // checkOrders is the asynchronous periodic check (lines 8-16). When force
 // is true every order with a feasible group is dispatched regardless of the
 // strategy (used at drain time).
+//
+// Hold decisions are approach-aware: the pool's τg assumes the route starts
+// at its first pickup, but a real dispatch prepends the assigned worker's
+// approach leg, so a group held until the bare τg would be physically
+// infeasible by the time a worker reaches it. The framework therefore
+// shrinks the horizon it hands to the strategy (and its own last-call
+// checks) by the current nearest idle worker's travel time.
 func (f *Framework) checkOrders(now float64, force bool) {
+	// One fleet scan gates all horizon probes: with no idle worker the
+	// probe would return 0 anyway, and per-order ring searches in a
+	// saturated sim would only burn time.
+	anyIdle := false
+	for _, w := range f.env.Workers {
+		if w.IdleAt(now) {
+			anyIdle = true
+			break
+		}
+	}
 	for _, id := range f.pool.OrderIDs() {
 		if !f.pool.Contains(id) {
 			continue // removed earlier this pass as part of a group
 		}
 		o := f.pool.Order(id)
 		g, expiry, ok := f.pool.BestGroup(id)
+		// One probe serves both the horizon shrink and the dispatch: the
+		// found (worker, approach) pair is handed straight to
+		// DispatchGroupTo, since nothing mutates worker state between the
+		// probe and the strategy's (pure) decision.
+		var gw *order.Worker
+		var gApproach float64
+		if ok && anyIdle {
+			gw, gApproach = f.env.WIndex.ClosestIdleWithin(
+				g.Plan.Stops[0].Node, now, g.Riders(), expiry-now)
+			if gw != nil {
+				expiry -= gApproach
+			}
+		}
 		// Last call: the group becomes infeasible before the next check.
 		groupLastCall := ok && expiry < now+f.Tick
 		if ok && (force || groupLastCall || f.Decide.ShouldDispatch(g, expiry, now)) {
-			if f.env.DispatchGroup(g, now) {
+			if gw != nil && f.env.DispatchGroupTo(gw, gApproach, g, now) {
 				f.pool.RemoveGroup(g, now)
 				f.dispatched++
 				continue
 			}
-			// No idle worker for the group; fall through so a last-call
-			// order can still try solo service before its deadline dies.
+			// No feasible worker for the group; fall through so a
+			// last-call order can still try solo service before its
+			// deadline dies.
 		}
 		// Lines 14-16: no shared group dispatched. Solo service happens
 		// when the strategy serves loners eagerly (online), at the wait
 		// limit, at solo last call, or at drain time.
-		soloLastCall := now+f.Tick+o.DirectCost > o.Deadline
+		// The probe is skipped when the zero-approach bound already fires
+		// (approach >= 0 can only strengthen it) or nobody is idle.
+		soloApproach := 0.0
+		if anyIdle && now+f.Tick+o.DirectCost <= o.Deadline {
+			soloApproach = f.approachFor(o.Pickup, now, o.Riders, o.Deadline-now-o.DirectCost)
+		}
+		soloLastCall := now+f.Tick+soloApproach+o.DirectCost > o.Deadline
 		if ok && !force && !soloLastCall {
 			continue // holding a live shared group
 		}
@@ -139,6 +179,21 @@ func (f *Framework) checkOrders(now float64, force bool) {
 			f.serveSoloOrReject(o, now, force)
 		}
 	}
+}
+
+// approachFor returns the travel time of the nearest idle worker that
+// could still serve within budget — the same budget-filtered cost notion
+// DispatchGroup uses, so a grid-near but road-slow worker does not distort
+// the horizon. Returns 0 when no idle worker fits the budget right now:
+// with nobody to dispatch to, the hold decision falls back to the
+// plan-only horizon instead of panicking every order into an early solo
+// attempt (a closer worker may free up before the horizon dies).
+func (f *Framework) approachFor(node geo.NodeID, now float64, riders int, budget float64) float64 {
+	_, a := f.env.WIndex.ClosestIdleWithin(node, now, riders, budget)
+	if math.IsInf(a, 1) {
+		return 0
+	}
+	return a
 }
 
 // serveSoloOrReject plans a singleton route for o. Served if feasible and a

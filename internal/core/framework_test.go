@@ -88,8 +88,12 @@ func TestFrameworkOnlineServesEverythingWithBigFleet(t *testing.T) {
 }
 
 func TestFrameworkTimeoutFormsMoreGroups(t *testing.T) {
-	online := runAlg(t, New(strategy.Online{}, pool.DefaultOptions()), 200, 12, 2.0)
-	timeout := runAlg(t, New(strategy.Timeout{Tick: 10}, pool.DefaultOptions()), 200, 12, 2.0)
+	// tau = 3.0: holding a group to its wait limit consumes ~0.8*direct of
+	// deadline slack, and dispatch must still fit the worker's approach leg
+	// inside what remains. Tighter deadlines would kill held groups before
+	// the timeout strategy gets to release them.
+	online := runAlg(t, New(strategy.Online{}, pool.DefaultOptions()), 200, 12, 3.0)
+	timeout := runAlg(t, New(strategy.Timeout{Tick: 10}, pool.DefaultOptions()), 200, 12, 3.0)
 	shared := func(m *sim.Metrics) int {
 		s := 0
 		for k := 2; k < len(m.GroupSizeHist); k++ {

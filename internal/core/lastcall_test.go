@@ -22,7 +22,11 @@ func lastCallEnv(workers int) (*sim.Env, *roadnet.GridCity) {
 	net := roadnet.NewGridCity(20, 20, 100, 10)
 	var ws []*order.Worker
 	for i := 0; i < workers; i++ {
-		ws = append(ws, &order.Worker{ID: i + 1, Loc: net.Node(10, 10), Capacity: 4})
+		// Workers start at the test orders' pickup corner: last-call
+		// dispatches happen with near-zero deadline slack, so only a
+		// zero-approach worker can physically serve them (dispatch now
+		// verifies the approach leg against every member's deadline).
+		ws = append(ws, &order.Worker{ID: i + 1, Loc: net.Node(0, 0), Capacity: 4})
 	}
 	return sim.NewEnv(net, ws, sim.DefaultConfig()), net
 }

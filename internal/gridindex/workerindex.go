@@ -1,6 +1,7 @@
 package gridindex
 
 import (
+	"math"
 	"sort"
 
 	"watter/internal/geo"
@@ -11,12 +12,22 @@ import (
 // WorkerIndex tracks workers by grid cell and answers "closest idle worker
 // to node X at time T" queries with expanding ring search, the standard
 // grid-accelerated dispatch lookup the paper adopts from prior studies.
+// Each ring's surviving candidates are costed with one batched
+// roadnet.FillCostMatrix call, so a Graph-backed network ranks the whole
+// ring with pruned point-to-point searches instead of per-worker full
+// Dijkstras.
 type WorkerIndex struct {
 	ix      *Index
 	net     roadnet.Network
 	cells   [][]*order.Worker // cell id -> workers whose Loc falls in it
 	cellOf  map[int]int       // worker id -> cell id
 	workers map[int]*order.Worker
+
+	// Reusable batching scratch; WorkerIndex is single-goroutine state
+	// (each simulation job owns its own index).
+	candBuf []*order.Worker
+	locBuf  []geo.NodeID
+	costBuf []float64
 }
 
 // NewWorkerIndex indexes the given workers.
@@ -65,6 +76,28 @@ func (wi *WorkerIndex) Update(w *order.Worker) {
 	wi.cellOf[w.ID] = nc
 }
 
+// ringCosts batches the travel times from every candidate gathered for the
+// current ring to node, reusing the index's scratch buffers. maxCost bounds
+// each underlying search: candidates beyond it may come back +Inf, which
+// every caller filters out anyway. On a Graph network this runs one pruned
+// forward search per distinct candidate location (plus duplicate-location
+// dedup) — a single reverse-graph sweep from node would be cheaper, but
+// reverse-order float folds would break the engine's bit-equivalence
+// contract with Cost, so forward searches are deliberate.
+func (wi *WorkerIndex) ringCosts(node geo.NodeID, maxCost float64) []float64 {
+	wi.locBuf = wi.locBuf[:0]
+	for _, w := range wi.candBuf {
+		wi.locBuf = append(wi.locBuf, w.Loc)
+	}
+	if cap(wi.costBuf) < len(wi.locBuf) {
+		wi.costBuf = make([]float64, len(wi.locBuf))
+	}
+	wi.costBuf = wi.costBuf[:len(wi.locBuf)]
+	target := [1]geo.NodeID{node}
+	roadnet.FillCostMatrixWithin(wi.net, wi.locBuf, target[:], maxCost, wi.costBuf)
+	return wi.costBuf
+}
+
 // ClosestIdle returns the idle worker (FreeAt <= now) with at least
 // minCapacity seats whose travel time to node is smallest, or nil when no
 // worker qualifies. Ring search expands outward from the node's cell and
@@ -72,40 +105,69 @@ func (wi *WorkerIndex) Update(w *order.Worker) {
 // closer worker only approximately, so one extra ring is scanned to absorb
 // grid/metric mismatch).
 func (wi *WorkerIndex) ClosestIdle(node geo.NodeID, now float64, minCapacity int) *order.Worker {
+	w, _ := wi.ClosestIdleWithin(node, now, minCapacity, math.Inf(1))
+	return w
+}
+
+// ClosestIdleWithin is ClosestIdle with a travel-time budget: workers whose
+// cost to node exceeds maxCost are not candidates (the dispatcher passes
+// the deadline slack the group can still absorb). Unreachable workers
+// (+Inf cost) are never candidates — a grid-near but disconnected worker
+// must not shadow a reachable one. Returns the worker and its travel time,
+// or (nil, +Inf).
+func (wi *WorkerIndex) ClosestIdleWithin(node geo.NodeID, now float64, minCapacity int, maxCost float64) (*order.Worker, float64) {
 	center := wi.ix.CellOf(node)
 	var best *order.Worker
-	bestCost := 0.0
-	consider := func(cell int) bool {
-		for _, w := range wi.cells[cell] {
-			if !w.IdleAt(now) || w.Capacity < minCapacity {
-				continue
-			}
-			c := wi.net.Cost(w.Loc, node)
-			if best == nil || c < bestCost || (c == bestCost && w.ID < best.ID) {
-				best = w
-				bestCost = c
-			}
-		}
-		return true
-	}
+	bestCost := math.Inf(1)
 	maxD := wi.ix.N() // worst case scans every cell
 	foundAt := -1
+	seen := 0 // workers encountered (any state); == Len() means later rings are empty
 	for d := 0; d <= maxD; d++ {
-		wi.ix.Ring(center, d, consider)
+		wi.candBuf = wi.candBuf[:0]
+		wi.ix.Ring(center, d, func(cell int) bool {
+			seen += len(wi.cells[cell])
+			for _, w := range wi.cells[cell] {
+				if !w.IdleAt(now) || w.Capacity < minCapacity {
+					continue
+				}
+				wi.candBuf = append(wi.candBuf, w)
+			}
+			return true
+		})
+		if len(wi.candBuf) > 0 {
+			costs := wi.ringCosts(node, maxCost)
+			for i, w := range wi.candBuf {
+				c := costs[i]
+				if math.IsInf(c, 1) || c > maxCost {
+					continue // unreachable or beyond the deadline budget
+				}
+				if best == nil || c < bestCost || (c == bestCost && w.ID < best.ID) {
+					best = w
+					bestCost = c
+				}
+			}
+		}
 		if best != nil && foundAt < 0 {
 			foundAt = d
 		}
 		if foundAt >= 0 && d >= foundAt+1 {
 			break
 		}
+		if seen >= len(wi.workers) {
+			break // every worker lives in a scanned cell; the rest is empty
+		}
 	}
-	return best
+	if best == nil {
+		return nil, math.Inf(1)
+	}
+	return best, bestCost
 }
 
 // KNearest returns up to k workers passing pred, ordered by increasing
 // travel time from their location to node. The ring search scans outward
 // and stops once it has k hits and one extra ring (grid distance only
-// approximates travel time).
+// approximates travel time). Workers that cannot reach node at all are
+// excluded.
 func (wi *WorkerIndex) KNearest(node geo.NodeID, k int, pred func(*order.Worker) bool) []*order.Worker {
 	if k <= 0 {
 		return nil
@@ -117,21 +179,36 @@ func (wi *WorkerIndex) KNearest(node geo.NodeID, k int, pred func(*order.Worker)
 	}
 	var cands []cand
 	foundAt := -1
+	seen := 0
 	for d := 0; d <= wi.ix.N(); d++ {
+		wi.candBuf = wi.candBuf[:0]
 		wi.ix.Ring(center, d, func(cell int) bool {
+			seen += len(wi.cells[cell])
 			for _, w := range wi.cells[cell] {
 				if pred != nil && !pred(w) {
 					continue
 				}
-				cands = append(cands, cand{w, wi.net.Cost(w.Loc, node)})
+				wi.candBuf = append(wi.candBuf, w)
 			}
 			return true
 		})
+		if len(wi.candBuf) > 0 {
+			costs := wi.ringCosts(node, math.Inf(1))
+			for i, w := range wi.candBuf {
+				if math.IsInf(costs[i], 1) {
+					continue // disconnected: not a usable candidate
+				}
+				cands = append(cands, cand{w, costs[i]})
+			}
+		}
 		if len(cands) >= k && foundAt < 0 {
 			foundAt = d
 		}
 		if foundAt >= 0 && d >= foundAt+1 {
 			break
+		}
+		if seen >= len(wi.workers) {
+			break // all workers encountered; further rings are empty
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {

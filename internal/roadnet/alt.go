@@ -1,0 +1,217 @@
+package roadnet
+
+import (
+	"container/heap"
+	"math"
+
+	"watter/internal/geo"
+)
+
+// ALT preprocessing (A*, Landmarks, Triangle inequality). Build selects a
+// small set of landmarks by farthest-point sampling and stores, for every
+// landmark L, the distance arrays dist(L -> v) and dist(v -> L) (the latter
+// via the reverse graph). A query then lower-bounds dist(v, t) with
+//
+//	max_L( dist(v,L) - dist(t,L), dist(L,t) - dist(L,v) )
+//
+// which the point-to-point engine uses as an A* heuristic.
+//
+// Exactness contract: the engine must reproduce the float32 left-fold
+// shortest-path value of the full Dijkstra bit-for-bit. Landmark distances
+// are therefore computed in float64 (error ~1e-12 relative) and every lower
+// bound is deflated by a conservative slack (altMul/altAbs) covering the
+// worst-case float32 fold error of any shortest path, so the heuristic is
+// admissible with respect to the float32 metric, not just the real one.
+// Admissibility plus the reinsertion-based search in pp.go make the engine
+// exact; the deflation costs a sliver of pruning power, never correctness.
+
+// NumLandmarks reports how many ALT landmarks Build precomputed (0 for
+// tiny graphs, where plain goal-stopped search wins).
+func (g *Graph) NumLandmarks() int { return len(g.landmarks) }
+
+// defaultLandmarkCount picks how many landmarks Build precomputes. Tiny
+// graphs skip ALT entirely: a plain goal-stopped Dijkstra already explores
+// next to nothing, and landmark arrays would cost more than they save.
+func defaultLandmarkCount(n int) int {
+	if n < 32 {
+		return 0
+	}
+	k := n / 16
+	if k > 8 {
+		k = 8
+	}
+	return k
+}
+
+// initLandmarks runs farthest-point landmark selection and fills the
+// per-landmark distance arrays and the admissibility slack.
+func (g *Graph) initLandmarks(k int) {
+	n := len(g.coords)
+	if k <= 0 || n < 2 {
+		return
+	}
+	// Seed: the node farthest (by forward distance) from node 0; fall back
+	// to node 0 for graphs where nothing is reachable. Deterministic.
+	seedDist := g.dijkstraF64(0, false)
+	first := geo.NodeID(0)
+	bestD := -1.0
+	for v, d := range seedDist {
+		if !math.IsInf(d, 1) && d > bestD {
+			bestD = d
+			first = geo.NodeID(v)
+		}
+	}
+
+	minDist := make([]float64, n) // distance to the nearest chosen landmark
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	isLandmark := make([]bool, n)
+
+	for len(g.landmarks) < k {
+		var L geo.NodeID
+		if len(g.landmarks) == 0 {
+			L = first
+		} else {
+			// Farthest-point step: the reachable node most distant from
+			// every chosen landmark; ties break toward the lower id.
+			L = geo.InvalidNode
+			bestD = 0
+			for v := 0; v < n; v++ {
+				d := minDist[v]
+				if isLandmark[v] || math.IsInf(d, 1) {
+					continue
+				}
+				if d > bestD {
+					bestD = d
+					L = geo.NodeID(v)
+				}
+			}
+			if L == geo.InvalidNode || bestD == 0 {
+				break // graph exhausted (all reachable nodes are landmarks)
+			}
+		}
+		isLandmark[L] = true
+		from := g.dijkstraF64(L, false)
+		to := g.dijkstraF64(L, true)
+		g.landmarks = append(g.landmarks, L)
+		g.landFrom = append(g.landFrom, from)
+		g.landTo = append(g.landTo, to)
+		for v := 0; v < n; v++ {
+			if from[v] < minDist[v] {
+				minDist[v] = from[v]
+			}
+		}
+	}
+	g.initALTSlack()
+}
+
+// initALTSlack derives the admissibility deflation from the graph size and
+// an upper bound on the diameter. Any float32 left-fold of a path with at
+// most n-1 hops differs from the exact sum by less than n*eps32 relative;
+// a 4x margin also absorbs the float64 error of the landmark arrays.
+func (g *Graph) initALTSlack() {
+	const eps32 = 1.0 / (1 << 24)
+	n := float64(len(g.coords))
+	slack := 4 * n * eps32
+	if slack >= 1 {
+		// Pathological size: no sound deflation exists, disable the
+		// heuristic (searches degrade to goal-stopped Dijkstra).
+		g.landmarks = nil
+		g.landFrom = nil
+		g.landTo = nil
+		return
+	}
+	var diam float64
+	for i := range g.landFrom {
+		for _, d := range g.landFrom[i] {
+			if !math.IsInf(d, 1) && d > diam {
+				diam = d
+			}
+		}
+		for _, d := range g.landTo[i] {
+			if !math.IsInf(d, 1) && d > diam {
+				diam = d
+			}
+		}
+	}
+	g.altMul = 1 - slack
+	g.altAbs = slack * 2 * diam
+}
+
+// altBound returns the admissible ALT lower bound on the float32
+// shortest-path distance from v to t (0 when no landmark helps). A +Inf
+// bound is exact, not heuristic: dist(v,L)=Inf with dist(t,L) finite proves
+// v cannot reach t (a v->t path would extend to v->t->L). The Inf-Inf case
+// yields NaN, which every comparison rejects.
+func (g *Graph) altBound(v, t geo.NodeID) float64 {
+	var lb float64
+	for i := range g.landmarks {
+		if b := g.landTo[i][v] - g.landTo[i][t]; b > lb {
+			lb = b
+		}
+		if b := g.landFrom[i][t] - g.landFrom[i][v]; b > lb {
+			lb = b
+		}
+	}
+	if lb <= 0 {
+		return 0
+	}
+	lb = lb*g.altMul - g.altAbs
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}
+
+// f64Item / f64PQ: a float64 Dijkstra priority queue for preprocessing.
+type f64Item struct {
+	node geo.NodeID
+	dist float64
+}
+
+type f64PQ []f64Item
+
+func (q f64PQ) Len() int           { return len(q) }
+func (q f64PQ) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q f64PQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *f64PQ) Push(x any)        { *q = append(*q, x.(f64Item)) }
+func (q *f64PQ) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// dijkstraF64 runs a float64 single-source Dijkstra over the forward CSR
+// (reverse=false) or the transposed CSR (reverse=true, giving distances
+// *to* src). Preprocessing only — queries never call this.
+func (g *Graph) dijkstraF64(src geo.NodeID, reverse bool) []float64 {
+	n := len(g.coords)
+	head, adj, cost := g.headIdx, g.adjNode, g.adjCost
+	if reverse {
+		head, adj, cost = g.revHead, g.revNode, g.revCost
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := f64PQ{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(f64Item)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for i := head[it.node]; i < head[it.node+1]; i++ {
+			v := adj[i]
+			nd := it.dist + float64(cost[i])
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(&q, f64Item{v, nd})
+			}
+		}
+	}
+	return dist
+}

@@ -92,7 +92,7 @@ func TestGraphCacheShrinkEnforced(t *testing.T) {
 	city := NewGridCity(10, 10, 100, 5)
 	g := city.AsGraph()
 	for n := 0; n < 40; n++ {
-		g.Cost(geo.NodeID(n), geo.NodeID(n+1))
+		g.CostSSSP(geo.NodeID(n), geo.NodeID(n+1))
 	}
 	g.mu.Lock()
 	grown := len(g.cache)
@@ -101,11 +101,11 @@ func TestGraphCacheShrinkEnforced(t *testing.T) {
 		t.Fatalf("warmup cached %d sources, want >= 30", grown)
 	}
 	g.SetCacheSize(4)
-	g.Cost(geo.NodeID(90), geo.NodeID(3)) // one miss triggers eviction
+	g.CostSSSP(geo.NodeID(90), geo.NodeID(3)) // one miss triggers eviction
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if len(g.cache) > 4 || len(g.order) != len(g.cache) {
-		t.Fatalf("cache not shrunk: %d entries (order %d), want <= 4", len(g.cache), len(g.order))
+	if len(g.cache) > 4 || g.lru.Len() != len(g.cache) {
+		t.Fatalf("cache not shrunk: %d entries (lru %d), want <= 4", len(g.cache), g.lru.Len())
 	}
 }
 

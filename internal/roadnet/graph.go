@@ -2,29 +2,65 @@ package roadnet
 
 import (
 	"container/heap"
+	"container/list"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"watter/internal/geo"
 )
 
-// Graph is an explicit weighted directed road graph with Dijkstra-based
-// shortest-path costs. Single-source distance arrays are cached per source
-// node (bounded LRU), which matches the access pattern of the shareability
-// graph: many cost queries fan out from the same pickup/dropoff nodes.
+// Graph is an explicit weighted directed road graph. Point-to-point costs
+// are answered by the ALT engine (see pp.go): an A* search guided by
+// landmark lower bounds, precomputed at Build time, that explores only the
+// corridor between the endpoints instead of the whole city.
+//
+// The original full single-source Dijkstra is retained behind a bounded LRU
+// cache of per-source distance arrays. It backs Path (which needs prev
+// chains), Precompute-pinned small graphs (where every source fits in the
+// cache and Cost becomes an O(1) lookup), and CostSSSP, the reference
+// implementation the equivalence tests and benchmarks compare the engine
+// against.
 type Graph struct {
 	coords []geo.Point
-	// CSR adjacency.
+	// CSR adjacency (forward) and its transpose (reverse, used by the
+	// landmark preprocessing to compute distances *to* each landmark).
 	headIdx []int32 // len = numNodes+1
 	adjNode []geo.NodeID
 	adjCost []float32
+	revHead []int32
+	revNode []geo.NodeID
+	revCost []float32
 	bounds  geo.Rect
 
+	// ALT preprocessing (immutable after Build; see alt.go).
+	landmarks []geo.NodeID
+	landFrom  [][]float64 // landFrom[i][v] = dist(landmarks[i] -> v)
+	landTo    [][]float64 // landTo[i][v]   = dist(v -> landmarks[i])
+	altMul    float64     // multiplicative admissibility slack
+	altAbs    float64     // absolute admissibility slack (seconds)
+
+	// ppOff disables the point-to-point engine behind Cost (legacy cached
+	// full-Dijkstra mode); pinned is set by Precompute, after which every
+	// source is resident and the cache lookup is the fastest path.
+	ppOff  atomic.Bool
+	pinned atomic.Bool
+
+	// ppPool recycles per-query search state (see pp.go).
+	ppPool sync.Pool
+
 	mu       sync.Mutex
-	cache    map[geo.NodeID]*distEntry
-	order    []geo.NodeID // LRU order, most recent last
+	cache    map[geo.NodeID]*cacheSlot
+	lru      *list.List // front = least recently used; values are geo.NodeID
 	maxCache int
+}
+
+// cacheSlot pairs a distance entry with its LRU list element so a cache hit
+// can refresh recency in O(1).
+type cacheSlot struct {
+	ent  *distEntry
+	elem *list.Element
 }
 
 type distEntry struct {
@@ -66,7 +102,9 @@ func (b *GraphBuilder) AddBidirectional(u, v geo.NodeID, seconds float64) {
 	b.AddEdge(v, u, seconds)
 }
 
-// Build freezes the builder into a Graph. The builder must not be reused.
+// Build freezes the builder into a Graph and runs the ALT preprocessing
+// (landmark selection plus per-landmark distance arrays). The builder must
+// not be reused.
 func (b *GraphBuilder) Build() (*Graph, error) {
 	n := len(b.coords)
 	if n == 0 {
@@ -85,7 +123,11 @@ func (b *GraphBuilder) Build() (*Graph, error) {
 		headIdx:  make([]int32, n+1),
 		adjNode:  make([]geo.NodeID, len(b.edges)),
 		adjCost:  make([]float32, len(b.edges)),
-		cache:    make(map[geo.NodeID]*distEntry),
+		revHead:  make([]int32, n+1),
+		revNode:  make([]geo.NodeID, len(b.edges)),
+		revCost:  make([]float32, len(b.edges)),
+		cache:    make(map[geo.NodeID]*cacheSlot),
+		lru:      list.New(),
 		maxCache: 4096,
 	}
 	counts := make([]int32, n)
@@ -102,7 +144,23 @@ func (b *GraphBuilder) Build() (*Graph, error) {
 		g.adjCost[fill[e.from]] = e.cost
 		fill[e.from]++
 	}
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, e := range b.edges {
+		counts[e.to]++
+	}
+	for i := 0; i < n; i++ {
+		g.revHead[i+1] = g.revHead[i] + counts[i]
+	}
+	copy(fill, g.revHead[:n])
+	for _, e := range b.edges {
+		g.revNode[fill[e.to]] = e.from
+		g.revCost[fill[e.to]] = e.cost
+		fill[e.to]++
+	}
 	g.bounds = boundsOf(g.coords)
+	g.initLandmarks(defaultLandmarkCount(n))
 	return g, nil
 }
 
@@ -128,6 +186,24 @@ func (g *Graph) SetCacheSize(n int) {
 	g.mu.Unlock()
 }
 
+// FlushCache drops every cached single-source distance array (and the
+// Precompute pin). Used by benchmarks that measure the cold full-Dijkstra
+// path.
+func (g *Graph) FlushCache() {
+	g.mu.Lock()
+	g.cache = make(map[geo.NodeID]*cacheSlot)
+	g.lru.Init()
+	g.mu.Unlock()
+	g.pinned.Store(false)
+}
+
+// SetPointToPoint toggles the ALT engine behind Cost. It is on by default;
+// turning it off restores the legacy cached full-Dijkstra behavior. The two
+// modes return bit-identical distances (enforced by the equivalence property
+// tests); the toggle exists for benchmarks and those tests. Not safe to
+// flip concurrently with queries.
+func (g *Graph) SetPointToPoint(on bool) { g.ppOff.Store(!on) }
+
 // NumNodes implements Network.
 func (g *Graph) NumNodes() int { return len(g.coords) }
 
@@ -137,8 +213,25 @@ func (g *Graph) Coord(n geo.NodeID) geo.Point { return g.coords[n] }
 // Bounds implements Network.
 func (g *Graph) Bounds() geo.Rect { return g.bounds }
 
-// Cost implements Network via cached single-source Dijkstra.
+// Cost implements Network. Precompute-pinned graphs answer from the full
+// SSSP cache in O(1); everything else goes through the point-to-point ALT
+// engine, which returns the same float32 shortest-path fold bit-for-bit.
 func (g *Graph) Cost(from, to geo.NodeID) float64 {
+	if from == to {
+		return 0
+	}
+	if g.pinned.Load() || g.ppOff.Load() {
+		return g.costSSSP(from, to)
+	}
+	return g.CostPP(from, to)
+}
+
+// CostSSSP answers a point-to-point query via the legacy cached full
+// single-source Dijkstra. It is the reference implementation the engine is
+// validated against and the "cold Dijkstra" arm of watterbench -benchroute.
+func (g *Graph) CostSSSP(from, to geo.NodeID) float64 { return g.costSSSP(from, to) }
+
+func (g *Graph) costSSSP(from, to geo.NodeID) float64 {
 	if from == to {
 		return 0
 	}
@@ -168,22 +261,26 @@ func (g *Graph) Path(from, to geo.NodeID) []geo.NodeID {
 
 func (g *Graph) source(from geo.NodeID) *distEntry {
 	g.mu.Lock()
-	e, ok := g.cache[from]
-	if !ok {
+	slot, ok := g.cache[from]
+	if ok {
+		// LRU: a hit refreshes recency so hot sources survive eviction
+		// pressure (the cache used to be FIFO in LRU's clothing).
+		g.lru.MoveToBack(slot.elem)
+	} else {
 		for len(g.cache) >= g.maxCache {
-			// Evict least recently inserted sources until under the bound
+			// Evict least recently used sources until under the bound
 			// (a loop so a shrunk maxCache is enforced, not just chased).
 			// A goroutine still computing or reading a victim keeps its
 			// own reference; eviction only drops the shared handle.
-			victim := g.order[0]
-			g.order = g.order[1:]
-			delete(g.cache, victim)
+			front := g.lru.Front()
+			g.lru.Remove(front)
+			delete(g.cache, front.Value.(geo.NodeID))
 		}
-		e = &distEntry{}
-		g.cache[from] = e
-		g.order = append(g.order, from)
+		slot = &cacheSlot{ent: &distEntry{}, elem: g.lru.PushBack(from)}
+		g.cache[from] = slot
 	}
 	g.mu.Unlock()
+	e := slot.ent
 	e.once.Do(func() { e.dist, e.prev = g.dijkstra(from) })
 	return e
 }
@@ -243,4 +340,5 @@ func (g *Graph) Precompute() {
 	for n := 0; n < len(g.coords); n++ {
 		g.source(geo.NodeID(n))
 	}
+	g.pinned.Store(true)
 }

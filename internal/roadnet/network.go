@@ -12,6 +12,7 @@ package roadnet
 
 import (
 	"fmt"
+	"math"
 
 	"watter/internal/geo"
 )
@@ -40,6 +41,60 @@ type PathNetwork interface {
 	// Path returns the node sequence of a shortest path from one node to
 	// another, inclusive of both endpoints. Returns nil if unreachable.
 	Path(from, to geo.NodeID) []geo.NodeID
+}
+
+// MatrixNetwork is an optional Network extension for batched many-to-many
+// cost queries: out[i][j] = Cost(sources[i], targets[j]). Implementations
+// answer a whole matrix with one pruned search per distinct source instead
+// of len(sources)*len(targets) independent oracle calls; Graph's ALT engine
+// implements it.
+type MatrixNetwork interface {
+	Network
+	CostMatrix(sources, targets []geo.NodeID) [][]float64
+}
+
+// matrixFiller is the zero-allocation internal form of MatrixNetwork.
+type matrixFiller interface {
+	costMatrixInto(sources, targets []geo.NodeID, maxCost float64, out []float64)
+}
+
+// FillCostMatrix fills out (row-major, len >= len(sources)*len(targets))
+// with out[i*len(targets)+j] = Cost(sources[i], targets[j]), using the
+// network's batched engine when it has one and falling back to pairwise
+// Cost calls otherwise (closed-form networks like GridCity answer each pair
+// in O(1), so the fallback is already optimal for them). This is the
+// allocation-free call the route planner's leg matrix and the worker
+// index's ring ranking are built on.
+func FillCostMatrix(net Network, sources, targets []geo.NodeID, out []float64) {
+	FillCostMatrixWithin(net, sources, targets, math.Inf(1), out)
+}
+
+// FillCostMatrixWithin is FillCostMatrix with a travel-time budget: entries
+// whose cost exceeds maxCost may be reported as +Inf instead of their exact
+// value (every entry <= maxCost is exact). A batched engine uses the budget
+// to stop each search early, which keeps queries cheap when the caller only
+// wants candidates within a deadline slack.
+func FillCostMatrixWithin(net Network, sources, targets []geo.NodeID, maxCost float64, out []float64) {
+	if m, ok := net.(matrixFiller); ok {
+		m.costMatrixInto(sources, targets, maxCost, out)
+		return
+	}
+	if m, ok := net.(MatrixNetwork); ok {
+		// External batched implementations see the documented public API;
+		// their exact entries satisfy the Within contract trivially.
+		nt := len(targets)
+		for i, row := range m.CostMatrix(sources, targets) {
+			copy(out[i*nt:(i+1)*nt], row)
+		}
+		return
+	}
+	nt := len(targets)
+	for i, s := range sources {
+		row := out[i*nt : (i+1)*nt]
+		for j, t := range targets {
+			row[j] = net.Cost(s, t)
+		}
+	}
 }
 
 // ValidateNode returns an error if n is not a node of net.

@@ -131,7 +131,7 @@ func TestGraphCacheEviction(t *testing.T) {
 	// Query from more sources than the cache holds; results must stay correct.
 	for round := 0; round < 3; round++ {
 		for u := 0; u < g.NumNodes(); u++ {
-			d := g.Cost(geo.NodeID(u), geo.NodeID((u+7)%g.NumNodes()))
+			d := g.CostSSSP(geo.NodeID(u), geo.NodeID((u+7)%g.NumNodes()))
 			if math.IsInf(d, 1) || d < 0 {
 				t.Fatalf("bad distance %v", d)
 			}

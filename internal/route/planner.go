@@ -56,16 +56,9 @@ func (p *Planner) PlanGroupFrom(orders []*order.Order, now float64, capacity int
 	if k == 0 || k > MaxGroupSize {
 		return nil, false
 	}
-	if totalRiders(orders) > capacity && k > 1 {
-		// A group can still be feasible if riders never overlap, so only
-		// reject when even a single order exceeds capacity; overlap is
-		// checked per transition below. Single-order fast path:
-		for _, o := range orders {
-			if o.Riders > capacity {
-				return nil, false
-			}
-		}
-	}
+	// A group whose combined riders exceed capacity can still be feasible
+	// when riders never overlap; overlap is checked per transition below.
+	// Only an individual order that exceeds capacity is hopeless.
 	for _, o := range orders {
 		if o.Riders > capacity {
 			return nil, false
@@ -82,16 +75,22 @@ func (p *Planner) PlanGroupFrom(orders []*order.Order, now float64, capacity int
 		loc[2*i+1] = o.Dropoff
 	}
 	// legs[a*ne+b] caches cost(loc[a], loc[b]); the DP touches each pair
-	// thousands of times, the oracle only ne^2 times.
+	// thousands of times. One batched many-to-many call fills the whole
+	// table: a Graph-backed network answers it with one pruned ALT search
+	// per distinct event node instead of ne full-city Dijkstras.
 	legs := sc.legs(ne)
-	for a := 0; a < ne; a++ {
-		for b := 0; b < ne; b++ {
-			if a == b {
-				legs[a*ne+b] = 0
-				continue
-			}
-			legs[a*ne+b] = p.Net.Cost(loc[a], loc[b])
+	roadnet.FillCostMatrix(p.Net, loc, loc, legs)
+	// Approach legs from the explicit start to each pickup, batched the
+	// same way (one search for all k pickups).
+	var t0s []float64
+	if start != geo.InvalidNode {
+		pickups := sc.pickups(k)
+		for i, o := range orders {
+			pickups[i] = o.Pickup
 		}
+		t0s = sc.startRow(k)
+		sc.startSrc[0] = start
+		roadnet.FillCostMatrix(p.Net, sc.startSrc[:], pickups, t0s)
 	}
 	// dp[mask*ne+last] = earliest arrival offset at event `last` having
 	// completed exactly `mask`.
@@ -102,13 +101,10 @@ func (p *Planner) PlanGroupFrom(orders []*order.Order, now float64, capacity int
 		parent[i] = -1
 	}
 	// Initialize with each pickup as the first stop.
-	for i, o := range orders {
-		if o.Riders > capacity {
-			return nil, false
-		}
+	for i := range orders {
 		var t0 float64
-		if start != geo.InvalidNode {
-			t0 = p.Net.Cost(start, o.Pickup)
+		if t0s != nil {
+			t0 = t0s[i]
 		}
 		dp[(1<<(2*i))*ne+2*i] = t0
 	}
@@ -206,6 +202,10 @@ type planScratch struct {
 	legBuf    []float64
 	dpBuf     []float64
 	parentBuf []int32
+
+	pickupBuf []geo.NodeID
+	rowBuf    []float64
+	startSrc  [1]geo.NodeID
 }
 
 var scratchPool = sync.Pool{New: func() any { return &planScratch{} }}
@@ -224,20 +224,26 @@ func (s *planScratch) legs(ne int) []float64 {
 	return s.legBuf[:ne*ne]
 }
 
+func (s *planScratch) pickups(k int) []geo.NodeID {
+	if cap(s.pickupBuf) < k {
+		s.pickupBuf = make([]geo.NodeID, k)
+	}
+	return s.pickupBuf[:k]
+}
+
+func (s *planScratch) startRow(k int) []float64 {
+	if cap(s.rowBuf) < k {
+		s.rowBuf = make([]float64, k)
+	}
+	return s.rowBuf[:k]
+}
+
 func (s *planScratch) tables(size int) ([]float64, []int32) {
 	if cap(s.dpBuf) < size {
 		s.dpBuf = make([]float64, size)
 		s.parentBuf = make([]int32, size)
 	}
 	return s.dpBuf[:size], s.parentBuf[:size]
-}
-
-func totalRiders(orders []*order.Order) int {
-	t := 0
-	for _, o := range orders {
-		t += o.Riders
-	}
-	return t
 }
 
 // ridersOnboard counts riders picked up but not yet dropped off in mask.

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"watter/internal/geo"
+	"watter/internal/order"
+	"watter/internal/roadnet"
+)
+
+// TestDispatchGroupRejectsDeadlineBreakingApproach is the regression test
+// for the approach-offset bug: the plan is deadline-feasible from its first
+// pickup, but the only idle worker is so far away that its approach leg
+// pushes the dropoff past the deadline. The old code dispatched anyway and
+// recorded a served order that physically missed its deadline.
+func TestDispatchGroupRejectsDeadlineBreakingApproach(t *testing.T) {
+	net := roadnet.NewGridCity(10, 10, 100, 10)
+	// Worker 18 blocks (180 s) from the pickup.
+	w := &order.Worker{ID: 1, Loc: net.Node(9, 9), Capacity: 4}
+	env := NewEnv(net, []*order.Worker{w}, DefaultConfig())
+	o := &order.Order{
+		ID: 1, Pickup: net.Node(0, 0), Dropoff: net.Node(5, 0), Riders: 1,
+		Release: 0, Deadline: 100, WaitLimit: 40, DirectCost: 50,
+	}
+	plan, ok := env.Planner.PlanGroup([]*order.Order{o}, 0, 4)
+	if !ok {
+		t.Fatal("plan should be feasible from the pickup")
+	}
+	g := &order.Group{Orders: []*order.Order{o}, Plan: plan}
+	// Slack is 100 - 0 - 50 = 50 s; the approach needs 180 s.
+	if env.DispatchGroup(g, 0) {
+		t.Fatal("dispatched a group whose worker approach breaks the deadline")
+	}
+	if env.Metrics.Served != 0 || w.TravelCost != 0 || w.FreeAt != 0 {
+		t.Fatalf("failed dispatch mutated state: %+v, worker %+v", env.Metrics, w)
+	}
+
+	// Add a worker within the slack: dispatch must succeed and pick it.
+	near := &order.Worker{ID: 2, Loc: net.Node(2, 0), Capacity: 4} // 20 s away
+	env2 := NewEnv(net, []*order.Worker{w, near}, DefaultConfig())
+	if !env2.DispatchGroup(g, 0) {
+		t.Fatal("dispatch with a feasible worker failed")
+	}
+	if near.Served != 1 || w.Served != 0 {
+		t.Fatalf("wrong worker dispatched: near %+v far %+v", near, w)
+	}
+	// Dropoff at approach + service = 20 + 50 = 70 <= deadline 100.
+	if near.FreeAt != 70 {
+		t.Fatalf("FreeAt = %v, want 70", near.FreeAt)
+	}
+}
+
+// TestDispatchGroupFallsBackPastGridNearWorker: when the grid-nearest
+// worker's road approach blows the deadline, the ring search must keep
+// walking and hand the group to a farther-in-grid but road-feasible worker.
+func TestDispatchGroupFallsBackPastGridNearWorker(t *testing.T) {
+	var b roadnet.GraphBuilder
+	pickup := b.AddNode(geo.Point{X: 0, Y: 0})
+	drop := b.AddNode(geo.Point{X: 100, Y: 0})
+	nearLoc := b.AddNode(geo.Point{X: 50, Y: 0}) // pickup's cell, 500 s by road
+	farLoc := b.AddNode(geo.Point{X: 300, Y: 0}) // 3 cells out, 30 s by road
+	mid := b.AddNode(geo.Point{X: 200, Y: 0})
+	b.AddBidirectional(pickup, drop, 10)
+	b.AddBidirectional(pickup, nearLoc, 500)
+	b.AddBidirectional(drop, mid, 10)
+	b.AddBidirectional(mid, farLoc, 10)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &order.Worker{ID: 1, Loc: nearLoc, Capacity: 4}
+	fast := &order.Worker{ID: 2, Loc: farLoc, Capacity: 4}
+	cfg := DefaultConfig()
+	cfg.GridN = 4
+	env := NewEnv(g, []*order.Worker{slow, fast}, cfg)
+	o := &order.Order{
+		ID: 1, Pickup: pickup, Dropoff: drop, Riders: 1,
+		Release: 0, Deadline: 60, WaitLimit: 20, DirectCost: 10,
+	}
+	plan, ok := env.Planner.PlanGroup([]*order.Order{o}, 0, 4)
+	if !ok {
+		t.Fatal("plan infeasible")
+	}
+	grp := &order.Group{Orders: []*order.Order{o}, Plan: plan}
+	// Slack = 60 - 10 = 50 s: the slow worker (500 s) cannot make it, the
+	// fast one (30 s) can.
+	if !env.DispatchGroup(grp, 0) {
+		t.Fatal("dispatch failed despite a feasible worker")
+	}
+	if fast.Served != 1 || slow.Served != 0 {
+		t.Fatalf("dispatched the deadline-breaking worker: slow %+v fast %+v", slow, fast)
+	}
+}

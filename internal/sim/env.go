@@ -163,18 +163,46 @@ func (e *Env) ClosestIdleWorker(node geo.NodeID, riders int) *order.Worker {
 // first stop. The worker's approach travel to the first stop therefore
 // counts toward worker travel (Unified Cost) and the worker's busy window,
 // but not toward rider extra time.
+//
+// The plan's arrival offsets are measured from the route's first stop, so
+// the chosen worker's approach leg shifts every dropoff by the same amount.
+// Deadline feasibility is therefore re-checked here with the approach
+// included: only workers whose travel time to the first stop fits within
+// the group's deadline slack are candidates, and the ring search falls
+// through to the next-nearest worker when a closer one does not fit.
 func (e *Env) DispatchGroup(g *order.Group, now float64) bool {
 	if g == nil || g.Plan == nil || len(g.Orders) == 0 {
 		return false
 	}
-	w := e.WIndex.ClosestIdle(g.Plan.Stops[0].Node, now, g.Riders())
+	slack := approachSlack(g, now)
+	if slack < 0 {
+		return false // the plan itself is already past a deadline
+	}
+	w, approach := e.WIndex.ClosestIdleWithin(g.Plan.Stops[0].Node, now, g.Riders(), slack)
 	if w == nil {
 		return false
 	}
-	approach := e.Net.Cost(w.Loc, g.Plan.Stops[0].Node)
+	e.commitGroup(w, approach, g, now)
+	return true
+}
+
+// DispatchGroupTo is DispatchGroup with a pre-selected worker and its
+// already-verified approach travel time (from the caller's own
+// ClosestIdleWithin probe against the group's deadline slack); it commits
+// without repeating the ring search. The worker must still be idle.
+func (e *Env) DispatchGroupTo(w *order.Worker, approach float64, g *order.Group, now float64) bool {
+	if g == nil || g.Plan == nil || len(g.Orders) == 0 || w == nil || !w.IdleAt(now) {
+		return false
+	}
 	if math.IsInf(approach, 1) {
 		return false
 	}
+	e.commitGroup(w, approach, g, now)
+	return true
+}
+
+// commitGroup books the group on the worker and accounts all metrics.
+func (e *Env) commitGroup(w *order.Worker, approach float64, g *order.Group, now float64) {
 	w.TravelCost += approach + g.Plan.Cost
 	w.FreeAt = now + approach + g.Plan.Cost
 	w.Loc = g.Plan.Stops[len(g.Plan.Stops)-1].Node
@@ -202,7 +230,29 @@ func (e *Env) DispatchGroup(g *order.Group, now float64) bool {
 	if e.onServe != nil {
 		e.onServe(g, now)
 	}
-	return true
+}
+
+// approachSlack returns the largest approach travel time a worker may add
+// in front of the group's route without any member missing its deadline:
+// min over dropoffs of (deadline - now - arrival offset). Negative when the
+// plan is stale (some deadline is unreachable even with a zero approach).
+func approachSlack(g *order.Group, now float64) float64 {
+	slack := math.Inf(1)
+	for i, s := range g.Plan.Stops {
+		if s.Kind != order.DropoffStop {
+			continue
+		}
+		for _, o := range g.Orders {
+			if o.ID != s.OrderID {
+				continue
+			}
+			if sl := o.Deadline - now - g.Plan.Arrive[i]; sl < slack {
+				slack = sl
+			}
+			break
+		}
+	}
+	return slack
 }
 
 // DispatchGroupWith assigns the group to a specific worker. The group's
