@@ -2,10 +2,14 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt ci benchsweep benchroute clean
+.PHONY: build examples test race bench lint fmt ci benchsweep benchroute benchstream clean
 
 build:
 	$(GO) build ./...
+
+# Compile every example program (CI runs this so examples never rot).
+examples:
+	$(GO) build -o /dev/null ./examples/...
 
 test:
 	$(GO) test ./...
@@ -27,7 +31,7 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build test race bench
+ci: lint build examples test race bench
 
 # Regenerate the sequential-vs-parallel engine baseline.
 benchsweep:
@@ -36,6 +40,10 @@ benchsweep:
 # Regenerate the routing engine vs cold-Dijkstra baseline.
 benchroute:
 	$(GO) run ./cmd/watterbench -benchroute BENCH_routing.json
+
+# Regenerate the event-bus vs batch-replay overhead baseline.
+benchstream:
+	$(GO) run ./cmd/watterbench -benchstream BENCH_stream.json
 
 clean:
 	$(GO) clean

@@ -10,6 +10,7 @@
 //	watterbench -fig fig5 -replicates 5 -parallel 8  # mean ± CI across seeds
 //	watterbench -benchsweep BENCH_sweep.json         # sequential-vs-parallel timing
 //	watterbench -benchroute BENCH_routing.json       # routing engine vs cold Dijkstra
+//	watterbench -benchstream BENCH_stream.json       # event bus vs batch replay
 //	watterbench -list                                # enumerate sweeps
 //
 // The -scale flag multiplies order and worker counts; 1.0 is the harness
@@ -32,23 +33,26 @@ import (
 	"watter/internal/dataset"
 	"watter/internal/exp"
 	"watter/internal/geo"
+	"watter/internal/platform"
 	"watter/internal/roadnet"
+	"watter/internal/sim"
 )
 
 func main() {
 	var (
-		fig        = flag.String("fig", "fig3", "sweep id (fig3..fig6, grid, eta, dt, gmm, omega, or 'all')")
-		city       = flag.String("city", "cdc", "city: nyc, cdc, xia, or 'all'")
-		scale      = flag.Float64("scale", 1, "order/worker count multiplier")
-		seed       = flag.Int64("seed", 1, "workload seed (first replicate)")
-		replicates = flag.Int("replicates", 1, "seed replicates per cell (reported as mean ± CI)")
-		parallel   = flag.Int("parallel", 0, "max concurrent simulation jobs (0 = GOMAXPROCS)")
-		quiet      = flag.Bool("quiet", false, "suppress per-run progress")
-		list       = flag.Bool("list", false, "list available sweeps and exit")
-		algsCSV    = flag.String("algs", "", "comma-separated algorithm subset (default: sweep's own)")
-		csvPath    = flag.String("csv", "", "also append tidy per-cell rows to this CSV file")
-		benchsweep = flag.String("benchsweep", "", "run the sequential-vs-parallel engine benchmark and write its JSON report to this file")
-		benchroute = flag.String("benchroute", "", "run the point-to-point routing engine benchmark and write its JSON report to this file")
+		fig         = flag.String("fig", "fig3", "sweep id (fig3..fig6, grid, eta, dt, gmm, omega, or 'all')")
+		city        = flag.String("city", "cdc", "city: nyc, cdc, xia, or 'all'")
+		scale       = flag.Float64("scale", 1, "order/worker count multiplier")
+		seed        = flag.Int64("seed", 1, "workload seed (first replicate)")
+		replicates  = flag.Int("replicates", 1, "seed replicates per cell (reported as mean ± CI)")
+		parallel    = flag.Int("parallel", 0, "max concurrent simulation jobs (0 = GOMAXPROCS)")
+		quiet       = flag.Bool("quiet", false, "suppress per-run progress")
+		list        = flag.Bool("list", false, "list available sweeps and exit")
+		algsCSV     = flag.String("algs", "", "comma-separated algorithm subset (default: sweep's own)")
+		csvPath     = flag.String("csv", "", "also append tidy per-cell rows to this CSV file")
+		benchsweep  = flag.String("benchsweep", "", "run the sequential-vs-parallel engine benchmark and write its JSON report to this file")
+		benchroute  = flag.String("benchroute", "", "run the point-to-point routing engine benchmark and write its JSON report to this file")
+		benchstream = flag.String("benchstream", "", "run the event-bus-vs-batch-replay benchmark and write its JSON report to this file")
 	)
 	flag.Parse()
 
@@ -68,6 +72,13 @@ func main() {
 	}
 	if *benchroute != "" {
 		if err := runBenchRoute(*benchroute, *scale, *seed, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchstream != "" {
+		if err := runBenchStream(*benchstream, *scale, *seed, *quiet); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -396,6 +407,145 @@ func runBenchRoute(path string, scale float64, seed int64, quiet bool) error {
 	}
 	if rep.Speedup <= 1 {
 		return fmt.Errorf("benchroute: engine (%.3fs) did not beat the cold Dijkstra path (%.3fs)", engineSecs, ssspSecs)
+	}
+	return nil
+}
+
+// streamReport is the JSON shape of the event-bus benchmark
+// (BENCH_stream.json).
+type streamReport struct {
+	City           string  `json:"city"`
+	Alg            string  `json:"alg"`
+	Orders         int     `json:"orders"`
+	Workers        int     `json:"workers"`
+	Scale          float64 `json:"scale"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Rounds         int     `json:"rounds"`
+	BatchSeconds   float64 `json:"batch_seconds"`
+	StreamSeconds  float64 `json:"stream_seconds"`
+	EventsPerRun   int     `json:"events_per_run"`
+	OverheadFactor float64 `json:"overhead_factor"`
+	Identical      bool    `json:"metrics_bit_identical"`
+}
+
+// runBenchStream measures what the event bus costs: the same CDC workload
+// runs through the legacy batch adapter (sim.Run, no sink — the exact
+// pre-redesign surface) and through a Platform with a subscribed,
+// actively-drained event channel. Both paths share the streaming core, so
+// metrics must be bit-identical; the report tracks the wall-clock ratio
+// the way BENCH_routing.json tracks the routing engine.
+func runBenchStream(path string, scale float64, seed int64, quiet bool) error {
+	base := exp.DefaultParams(dataset.CDC())
+	base.Seed = seed
+	base.Orders = int(float64(base.Orders) * scale)
+	base.Workers = int(float64(base.Workers) * scale)
+	if base.Orders < 10 || base.Workers < 1 {
+		return fmt.Errorf("benchstream: scale %.2f too small", scale)
+	}
+	city := base.City.Build()
+	orders := city.Orders(dataset.WorkloadConfig{
+		Orders: base.Orders, Seed: base.Seed, TauScale: base.TauScale, Eta: base.Eta,
+	})
+	const rounds = 3
+	logf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+	logf("benchstream: CDC n=%d m=%d, %d rounds per arm\n", base.Orders, base.Workers, rounds)
+
+	runBatch := func() (*sim.Metrics, float64) {
+		workers := city.Workers(base.Workers, base.MaxCap, base.Seed+1000)
+		cfg := sim.DefaultConfig()
+		cfg.GridN = base.GridN
+		cfg.Capacity = base.MaxCap
+		env := sim.NewEnv(city.Net, workers, cfg)
+		alg := exp.MustBuild("WATTER-online", base)
+		start := time.Now()
+		m := sim.Run(env, alg, orders, sim.RunOptions{TickEvery: base.TickEvery})
+		return m, time.Since(start).Seconds()
+	}
+	runStream := func() (*sim.Metrics, float64, int, error) {
+		workers := city.Workers(base.Workers, base.MaxCap, base.Seed+1000)
+		cfg := sim.DefaultConfig()
+		cfg.GridN = base.GridN
+		cfg.Capacity = base.MaxCap
+		alg := exp.MustBuild("WATTER-online", base)
+		p, err := platform.New(city.Net, workers,
+			platform.WithConfig(cfg),
+			platform.WithTick(base.TickEvery),
+			platform.WithMeasuredTime(false),
+			platform.WithAlgorithm(alg),
+		)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		events := p.Events()
+		counted := make(chan int, 1)
+		go func() {
+			n := 0
+			for range events {
+				n++
+			}
+			counted <- n
+		}()
+		start := time.Now()
+		m, err := p.Replay(orders)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return m, elapsed, <-counted, nil
+	}
+
+	var batchSecs, streamSecs float64
+	var events int
+	var batchM, streamM sim.Metrics
+	identical := true
+	for r := 0; r < rounds; r++ {
+		bm, bs := runBatch()
+		sm, ss, n, err := runStream()
+		if err != nil {
+			return err
+		}
+		batchSecs += bs
+		streamSecs += ss
+		events = n
+		a, b := *bm, *sm
+		a.DecisionSeconds, b.DecisionSeconds = 0, 0
+		if a != b {
+			identical = false
+		}
+		batchM, streamM = a, b
+		logf("benchstream: round %d batch=%.3fs stream=%.3fs events=%d\n", r+1, bs, ss, n)
+	}
+
+	rep := streamReport{
+		City:           "CDC",
+		Alg:            "WATTER-online",
+		Orders:         base.Orders,
+		Workers:        base.Workers,
+		Scale:          scale,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Rounds:         rounds,
+		BatchSeconds:   batchSecs / rounds,
+		StreamSeconds:  streamSecs / rounds,
+		EventsPerRun:   events,
+		OverheadFactor: streamSecs / batchSecs,
+		Identical:      identical,
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchstream: batch=%.3fs stream+events=%.3fs overhead=%.2fx events/run=%d identical=%v\n",
+		rep.BatchSeconds, rep.StreamSeconds, rep.OverheadFactor, rep.EventsPerRun, rep.Identical)
+	if !identical {
+		return fmt.Errorf("benchstream: streamed metrics diverged from batch replay:\nbatch:  %+v\nstream: %+v", batchM, streamM)
 	}
 	return nil
 }

@@ -140,7 +140,7 @@ func (g *GDP) advance(st *workerState, now float64) {
 				if detour < 0 {
 					detour = 0
 				}
-				g.env.ServeOrder(o, response, detour)
+				g.env.ServeOrder(st.w, o, response, detour)
 				delete(st.orders, o.ID)
 				delete(st.notify, o.ID)
 			}

@@ -50,6 +50,15 @@ func (f *Framework) Name() string { return f.Decide.Name() }
 // Pool exposes the shareability graph (read-only use: MDP featurization).
 func (f *Framework) Pool() *pool.Pool { return f.pool }
 
+// SetTick aligns the framework's last-call horizon with the platform's
+// periodic-check interval. Must be called before Init; the platform
+// constructor calls it so Δt is configured in exactly one place.
+func (f *Framework) SetTick(dt float64) { f.Tick = dt }
+
+// SetPoolOptions replaces the shareability-graph tuning before a run.
+// Must be called before Init; the platform's WithPool option uses it.
+func (f *Framework) SetPoolOptions(opt pool.Options) { f.PoolOpt = opt }
+
 // SetCandidateRadius overrides the pool's spatial prefilter before a run
 // (used by the candidate-radius ablation bench). Must be called before
 // Init.

@@ -18,6 +18,7 @@ import (
 	"watter/internal/mdp"
 	"watter/internal/nn"
 	"watter/internal/order"
+	"watter/internal/platform"
 	"watter/internal/pool"
 	"watter/internal/sim"
 	"watter/internal/strategy"
@@ -173,12 +174,23 @@ func workloadIn(city *dataset.City, p Params) (*dataset.City, []*order.Order, []
 	return city, orders, workers
 }
 
-// newEnv builds a simulation environment for the configuration.
-func newEnv(city *dataset.City, workers []*order.Worker, p Params) *sim.Env {
+// simConfig maps experiment parameters onto validated platform config.
+func simConfig(p Params) sim.Config {
 	cfg := sim.DefaultConfig()
 	cfg.GridN = p.GridN
 	cfg.Capacity = p.MaxCap
-	return sim.NewEnv(city.Net, workers, cfg)
+	return cfg
+}
+
+// newPlatform stands a service instance up for one configuration cell —
+// the harness is a client of the same streaming API live feeds use.
+func newPlatform(city *dataset.City, workers []*order.Worker, alg sim.Algorithm, p Params, measure bool) (*platform.Platform, error) {
+	return platform.New(city.Net, workers,
+		platform.WithConfig(simConfig(p)),
+		platform.WithTick(p.TickEvery),
+		platform.WithMeasuredTime(measure),
+		platform.WithAlgorithm(alg),
+	)
 }
 
 func poolOptions(p Params) pool.Options {
@@ -216,21 +228,24 @@ func (r *Runner) train(p Params) *Trained {
 		Orders: p.Train.HistoricalOrders, Seed: seed + 77, TauScale: p.TauScale, Eta: p.Eta,
 	})
 	workers := city.Workers(p.Workers, p.MaxCap, seed+1077)
-	env := newEnv(city, workers, p)
-	feat := mdp.NewFeaturizer(env.Index, horizonOf(hist))
-	feat.SlotSeconds = p.TickEvery
 
 	// Pass 1: behavior run to harvest extra times for the GMM.
 	var extraTimes []float64
 	fw := core.New(strategy.Timeout{Tick: p.TickEvery}, poolOptions(p))
-	fw.Tick = p.TickEvery
-	env.SetObservers(func(g *order.Group, now float64) {
+	plat, err := newPlatform(city, workers, fw, p, false)
+	if err != nil {
+		panic(fmt.Errorf("exp: invalid training configuration: %w", err))
+	}
+	feat := mdp.NewFeaturizer(plat.Env().Index, horizonOf(hist))
+	feat.SlotSeconds = p.TickEvery
+	plat.Env().SetObservers(func(g *order.Group, now float64) {
 		for _, v := range g.ExtraTimes(now, 1, 1) {
 			extraTimes = append(extraTimes, v)
 		}
 	}, nil)
-	opts := sim.RunOptions{TickEvery: p.TickEvery}
-	sim.Run(env, fw, hist, opts)
+	if _, err := plat.Replay(hist); err != nil {
+		panic(fmt.Errorf("exp: behavior simulation failed: %w", err))
+	}
 
 	// Fit the extra-time mixture and derive θ*.
 	var model *gmm.Model
@@ -256,8 +271,13 @@ func (r *Runner) train(p Params) *Trained {
 	fw2 := core.New(&strategy.Threshold{Source: theta, Alpha: 1, Beta: 1}, poolOptions(p))
 	fw2.Tick = p.TickEvery
 	col := mdp.NewCollector(fw2, feat, theta, trainer.Add)
-	env2 := newEnv(city, city.Workers(p.Workers, p.MaxCap, seed+1077), p)
-	sim.Run(env2, col, cloneOrders(hist), opts)
+	plat2, err := newPlatform(city, city.Workers(p.Workers, p.MaxCap, seed+1077), col, p, false)
+	if err != nil {
+		panic(fmt.Errorf("exp: invalid training configuration: %w", err))
+	}
+	if _, err := plat2.Replay(hist); err != nil {
+		panic(fmt.Errorf("exp: experience collection failed: %w", err))
+	}
 
 	loss := trainer.Train(p.Train.TrainSteps)
 	r.logf("[train %s] samples=%d extra-times=%d loss=%.1f elapsed=%s\n",
@@ -355,15 +375,24 @@ func MustBuild(name string, p Params) sim.Algorithm {
 }
 
 // RunOne executes one (algorithm, params) cell and returns its result.
+// The cell runs as a client of the streaming platform API; invalid
+// parameters surface here as construction errors instead of silent
+// defaults.
 func (r *Runner) RunOne(name string, p Params) (*Result, error) {
 	alg, err := r.Build(name, p)
 	if err != nil {
 		return nil, err
 	}
 	city, orders, workers := r.workload(p)
-	env := newEnv(city, workers, p)
+	plat, err := newPlatform(city, workers, alg, p, true)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	metrics := sim.Run(env, alg, orders, sim.RunOptions{TickEvery: p.TickEvery, MeasureTime: true})
+	metrics, err := plat.Replay(orders)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Alg: name, Params: p, Metrics: metrics, Elapsed: time.Since(start)}
 	r.logf("[%s %s] n=%d m=%d tau=%.1f: %s\n", p.City.Name, name, p.Orders, p.Workers, p.TauScale, metrics)
 	return res, nil
@@ -380,14 +409,4 @@ func horizonOf(orders []*order.Order) float64 {
 		h = 1
 	}
 	return h
-}
-
-// cloneOrders deep-copies orders so two runs never share mutable state.
-func cloneOrders(orders []*order.Order) []*order.Order {
-	out := make([]*order.Order, len(orders))
-	for i, o := range orders {
-		c := *o
-		out[i] = &c
-	}
-	return out
 }

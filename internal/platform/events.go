@@ -1,0 +1,143 @@
+package platform
+
+import (
+	"watter/internal/order"
+	"watter/internal/sim"
+)
+
+// Event is one observable platform outcome. The concrete variants are
+// OrderAdmitted, GroupDispatched, OrderRejected and TickCompleted. The
+// event sequence for a given (network, fleet, workload, algorithm, seed)
+// is deterministic — same events, same order, same payloads — with one
+// documented exception: TickCompleted.Metrics.DecisionSeconds measures
+// wall-clock and varies run to run (DESIGN.md §8).
+type Event interface {
+	// When returns the simulation time of the event in seconds.
+	When() float64
+	// event is the closed-variant marker.
+	event()
+}
+
+// OrderAdmitted fires when an order enters the platform, before the
+// dispatch algorithm sees it. Order is the platform's copy — DirectCost
+// already enriched — and must be treated as read-only.
+type OrderAdmitted struct {
+	Time  float64
+	Order *order.Order
+}
+
+func (e OrderAdmitted) When() float64 { return e.Time }
+func (OrderAdmitted) event()          {}
+
+// ServiceRecord is one served order's share of a dispatch: the response
+// and detour seconds that feed the extra-time metric.
+type ServiceRecord struct {
+	OrderID  int
+	Response float64
+	Detour   float64
+}
+
+// GroupDispatched fires when a group (possibly a singleton) is booked on
+// a worker, or when a schedule-based baseline completes one order inside
+// a worker's evolving schedule (then RouteCost is zero and Orders has one
+// record). WorkerID is zero only when no single worker is attributable.
+// Approach is the worker's travel time to the route's first stop;
+// worker-anchored plans fold it into RouteCost and report zero.
+type GroupDispatched struct {
+	Time      float64
+	WorkerID  int
+	Approach  float64
+	RouteCost float64
+	Orders    []ServiceRecord
+}
+
+func (e GroupDispatched) When() float64 { return e.Time }
+func (GroupDispatched) event()          {}
+
+// Size returns the number of orders sharing the dispatched route.
+func (e GroupDispatched) Size() int { return len(e.Orders) }
+
+// OrderRejected fires when an order is rejected, carrying the METRS
+// penalty p(i) and the Unified Cost rejection term it contributed.
+type OrderRejected struct {
+	Time           float64
+	Order          *order.Order
+	Penalty        float64
+	UnifiedPenalty float64
+}
+
+func (e OrderRejected) When() float64 { return e.Time }
+func (OrderRejected) event()          {}
+
+// TickCompleted fires after each periodic check with a snapshot of the
+// metrics accumulated so far — the live-dashboard feed. All fields of
+// Metrics are deterministic except DecisionSeconds (wall-clock).
+type TickCompleted struct {
+	Time    float64
+	Metrics sim.Metrics
+}
+
+func (e TickCompleted) When() float64 { return e.Time }
+func (TickCompleted) event()          {}
+
+// busSink adapts the simulator's callback sink to the typed event
+// channel. Sends block when the buffer is full, so no event is ever
+// dropped; consumers must drain (or size the buffer) accordingly.
+type busSink struct {
+	ch chan Event
+}
+
+func (b *busSink) OrderAdmitted(o *order.Order, now float64) {
+	b.ch <- OrderAdmitted{Time: now, Order: o}
+}
+
+func (b *busSink) GroupDispatched(w *order.Worker, g *order.Group, approach, now float64) {
+	ev := GroupDispatched{
+		Time:     now,
+		Approach: approach,
+		Orders:   make([]ServiceRecord, 0, len(g.Orders)),
+	}
+	if w != nil {
+		ev.WorkerID = w.ID
+	}
+	// Both dispatch paths refuse plan-less groups before committing, so
+	// g.Plan is always present here.
+	ev.RouteCost = g.Plan.Cost
+	for _, o := range g.Orders {
+		// Mirror of the metrics accounting loop: an order without a
+		// dropoff in the plan is not counted as served, so it gets no
+		// service record either — the dispatched-vs-Served event
+		// invariant stays exact.
+		st, ok := g.Plan.ServiceTime(o.ID)
+		if !ok {
+			continue
+		}
+		ev.Orders = append(ev.Orders, ServiceRecord{
+			OrderID:  o.ID,
+			Response: now - o.Release,
+			Detour:   st - o.DirectCost,
+		})
+	}
+	b.ch <- ev
+}
+
+func (b *busSink) OrderServed(w *order.Worker, o *order.Order, response, detour, now float64) {
+	ev := GroupDispatched{
+		Time:   now,
+		Orders: []ServiceRecord{{OrderID: o.ID, Response: response, Detour: detour}},
+	}
+	if w != nil {
+		ev.WorkerID = w.ID
+	}
+	b.ch <- ev
+}
+
+func (b *busSink) OrderRejected(o *order.Order, penalty, unified, now float64) {
+	b.ch <- OrderRejected{Time: now, Order: o, Penalty: penalty, UnifiedPenalty: unified}
+}
+
+func (b *busSink) TickCompleted(now float64, m sim.Metrics) {
+	b.ch <- TickCompleted{Time: now, Metrics: m}
+}
+
+var _ sim.EventSink = (*busSink)(nil)

@@ -116,19 +116,38 @@ type Env struct {
 	// generation); nil outside training.
 	onServe  func(g *order.Group, now float64)
 	onReject func(o *order.Order, now float64)
+
+	// sink receives dispatch-level outcomes for the event bus; nil
+	// outside platform-driven runs. Installed via Stream.SetSink.
+	sink EventSink
+}
+
+// Validate rejects parameter values the simulator cannot honor. There is
+// no silent defaulting: DefaultConfig is the one blessed source of
+// defaults, and deviations must be explicit.
+func (c Config) Validate() error {
+	switch {
+	case c.Alpha < 0 || math.IsNaN(c.Alpha) || math.IsInf(c.Alpha, 0):
+		return fmt.Errorf("sim: Alpha must be finite and non-negative, got %v", c.Alpha)
+	case c.Beta < 0 || math.IsNaN(c.Beta) || math.IsInf(c.Beta, 0):
+		return fmt.Errorf("sim: Beta must be finite and non-negative, got %v", c.Beta)
+	case c.UnifiedPenaltyFactor <= 0 || math.IsNaN(c.UnifiedPenaltyFactor) || math.IsInf(c.UnifiedPenaltyFactor, 0):
+		return fmt.Errorf("sim: UnifiedPenaltyFactor must be positive, got %v (the paper uses 10; start from DefaultConfig)", c.UnifiedPenaltyFactor)
+	case c.GridN < 1:
+		return fmt.Errorf("sim: GridN must be at least 1, got %d", c.GridN)
+	case c.Capacity < 1:
+		return fmt.Errorf("sim: Capacity must be at least 1, got %d", c.Capacity)
+	}
+	return nil
 }
 
 // NewEnv builds an environment over the network and worker fleet. Workers
-// are used in place (their FreeAt/Loc fields mutate during a run).
+// are used in place (their FreeAt/Loc fields mutate during a run). The
+// config must be valid (see Config.Validate); NewEnv panics on invalid
+// parameters — the platform constructor is the error-returning surface.
 func NewEnv(net roadnet.Network, workers []*order.Worker, cfg Config) *Env {
-	if cfg.GridN <= 0 {
-		cfg.GridN = 10
-	}
-	if cfg.UnifiedPenaltyFactor == 0 {
-		cfg.UnifiedPenaltyFactor = 10
-	}
-	if cfg.Capacity <= 0 {
-		cfg.Capacity = 4
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	ix := gridindex.New(net, cfg.GridN)
 	planner := &route.Planner{Net: net, Alpha: cfg.Alpha, Beta: cfg.Beta}
@@ -227,6 +246,9 @@ func (e *Env) commitGroup(w *order.Worker, approach float64, g *order.Group, now
 		k = len(e.Metrics.GroupSizeHist) - 1
 	}
 	e.Metrics.GroupSizeHist[k]++
+	if e.sink != nil {
+		e.sink.GroupDispatched(w, g, approach, now)
+	}
 	if e.onServe != nil {
 		e.onServe(g, now)
 	}
@@ -287,6 +309,11 @@ func (e *Env) DispatchGroupWith(w *order.Worker, g *order.Group, now float64) bo
 		k = len(e.Metrics.GroupSizeHist) - 1
 	}
 	e.Metrics.GroupSizeHist[k]++
+	if e.sink != nil {
+		// The plan is worker-anchored: the approach leg is folded into
+		// Plan.Cost, so the event reports it as zero.
+		e.sink.GroupDispatched(w, g, 0, now)
+	}
 	if e.onServe != nil {
 		e.onServe(g, now)
 	}
@@ -302,13 +329,18 @@ func (e *Env) ServeWithWorker(w *order.Worker, addedTravel float64) {
 }
 
 // ServeOrder records a single served order with explicit response and
-// detour times (used by schedule-based baselines).
-func (e *Env) ServeOrder(o *order.Order, response, detour float64) {
+// detour times; w is the worker whose evolving schedule delivered it, or
+// nil when no single worker is attributable (used by schedule-based
+// baselines).
+func (e *Env) ServeOrder(w *order.Worker, o *order.Order, response, detour float64) {
 	e.Metrics.Served++
 	e.Metrics.ResponseSum += response
 	e.Metrics.DetourSum += detour
 	e.Metrics.ServedExtra += e.Cfg.Alpha*detour + e.Cfg.Beta*response
 	e.Metrics.GroupSizeHist[1]++
+	if e.sink != nil {
+		e.sink.OrderServed(w, o, response, detour, e.Clock)
+	}
 	if e.onServe != nil {
 		g := &order.Group{Orders: []*order.Order{o}}
 		e.onServe(g, e.Clock)
@@ -321,6 +353,9 @@ func (e *Env) Reject(o *order.Order, now float64) {
 	e.Metrics.Rejected++
 	e.Metrics.PenaltySum += o.Penalty()
 	e.Metrics.RejectUnified += e.Cfg.UnifiedPenaltyFactor * o.DirectCost
+	if e.sink != nil {
+		e.sink.OrderRejected(o, o.Penalty(), e.Cfg.UnifiedPenaltyFactor*o.DirectCost, now)
+	}
 	if e.onReject != nil {
 		e.onReject(o, now)
 	}

@@ -1,9 +1,6 @@
 package sim
 
 import (
-	"sort"
-	"time"
-
 	"watter/internal/order"
 )
 
@@ -28,7 +25,8 @@ type Algorithm interface {
 // RunOptions tunes a simulation run.
 type RunOptions struct {
 	// TickEvery is the periodic-check interval Δt in seconds (paper
-	// default: 10 s).
+	// default: 10 s). Must be positive: there is no silent defaulting —
+	// start from DefaultRunOptions.
 	TickEvery float64
 	// DrainSlack is extra simulated time after the last release during
 	// which ticks keep firing so pooled orders resolve. When zero it is
@@ -45,65 +43,25 @@ func DefaultRunOptions() RunOptions {
 	return RunOptions{TickEvery: 10, MeasureTime: true}
 }
 
-// Run replays the order stream through the algorithm and returns the final
-// metrics. Orders are admitted in release order; the DirectCost field is
-// filled here if unset.
+// Run is paper-replication mode: it replays a pre-materialized order
+// stream through the streaming core (Stream.Replay: clone, stable-sort
+// by release, submit, drain) and returns the final metrics. The caller's
+// slice — including the orders it points to — is never mutated;
+// admission-time enrichment (DirectCost) happens on the stream's private
+// copies. Run panics on invalid options: it keeps the historical
+// error-free signature, and the validated, error-returning surface is
+// the platform constructor.
 func Run(env *Env, alg Algorithm, orders []*order.Order, opts RunOptions) *Metrics {
-	if opts.TickEvery <= 0 {
-		opts.TickEvery = 10
+	stream, err := NewStream(env, alg, opts)
+	if err != nil {
+		panic(err)
 	}
-	sorted := make([]*order.Order, len(orders))
-	copy(sorted, orders)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Release < sorted[j].Release })
-
-	var horizon float64
-	for _, o := range sorted {
-		if o.DirectCost == 0 {
-			o.DirectCost = env.Net.Cost(o.Pickup, o.Dropoff)
-		}
-		if o.Deadline > horizon {
-			horizon = o.Deadline
-		}
+	if err := stream.Replay(orders); err != nil {
+		panic(err) // nil order, or releases that outrun their own sort
 	}
-	if opts.DrainSlack > 0 {
-		if len(sorted) > 0 {
-			horizon = sorted[len(sorted)-1].Release + opts.DrainSlack
-		} else {
-			horizon = opts.DrainSlack
-		}
+	m, err := stream.Close()
+	if err != nil {
+		panic(err) // unreachable: Close is the stream's first and last
 	}
-
-	env.Metrics = Metrics{Total: len(sorted)}
-	timed := func(fn func()) {
-		if !opts.MeasureTime {
-			fn()
-			return
-		}
-		start := time.Now()
-		fn()
-		env.Metrics.DecisionSeconds += time.Since(start).Seconds()
-	}
-
-	timed(func() { alg.Init(env) })
-	nextTick := opts.TickEvery
-	for _, o := range sorted {
-		for nextTick <= o.Release {
-			env.Clock = nextTick
-			t := nextTick
-			timed(func() { alg.OnTick(t) })
-			nextTick += opts.TickEvery
-		}
-		env.Clock = o.Release
-		oo := o
-		timed(func() { alg.OnOrder(oo, oo.Release) })
-	}
-	for nextTick <= horizon {
-		env.Clock = nextTick
-		t := nextTick
-		timed(func() { alg.OnTick(t) })
-		nextTick += opts.TickEvery
-	}
-	env.Clock = horizon
-	timed(func() { alg.Finish(horizon) })
-	return &env.Metrics
+	return m
 }

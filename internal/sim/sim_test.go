@@ -186,13 +186,22 @@ func TestRunnerTickCadenceAndOrdering(t *testing.T) {
 	}
 }
 
-func TestRunnerFillsDirectCost(t *testing.T) {
+// TestRunnerLeavesCallerOrdersUntouched pins the batch adapter's ownership
+// contract: admission-time enrichment (DirectCost) happens on the stream's
+// private clones, never through the caller's pointers — while the
+// simulation itself still sees the enriched value (the rejection penalty
+// is 10 × the true direct cost, not zero).
+func TestRunnerLeavesCallerOrdersUntouched(t *testing.T) {
 	env, net := newTestEnv(1)
 	o := mkOrder(net, 1, 0)
 	o.DirectCost = 0
-	Run(env, &recorder{}, []*order.Order{o}, RunOptions{TickEvery: 10})
-	if o.DirectCost != net.Cost(o.Pickup, o.Dropoff) {
-		t.Fatalf("direct cost not filled: %v", o.DirectCost)
+	before := *o
+	m := Run(env, &recorder{}, []*order.Order{o}, RunOptions{TickEvery: 10})
+	if *o != before {
+		t.Fatalf("caller's order mutated: %+v -> %+v", before, *o)
+	}
+	if want := 10 * net.Cost(o.Pickup, o.Dropoff); m.RejectUnified != want {
+		t.Fatalf("admission enrichment lost: RejectUnified = %v, want %v", m.RejectUnified, want)
 	}
 }
 

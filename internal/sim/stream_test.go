@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"watter/internal/order"
+)
+
+// TestStreamEmptyStream pins the empty-workload semantics the batch
+// adapter inherits: no orders and no drain slack means no ticks at all and
+// Finish at time zero; a drain slack alone keeps ticks firing through it.
+func TestStreamEmptyStream(t *testing.T) {
+	env, _ := newTestEnv(1)
+	rec := &recorder{}
+	m := Run(env, rec, nil, RunOptions{TickEvery: 10})
+	if len(rec.ticks) != 0 {
+		t.Fatalf("ticks on an empty stream: %v", rec.ticks)
+	}
+	if rec.finish != 0 || rec.inits != 1 {
+		t.Fatalf("finish=%v inits=%d", rec.finish, rec.inits)
+	}
+	if m.Total != 0 || m.Served != 0 || m.Rejected != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	env2, _ := newTestEnv(1)
+	rec2 := &recorder{}
+	Run(env2, rec2, nil, RunOptions{TickEvery: 10, DrainSlack: 35})
+	if want := []float64{10, 20, 30}; len(rec2.ticks) != len(want) {
+		t.Fatalf("drain ticks = %v, want %v", rec2.ticks, want)
+	}
+	if rec2.finish != 35 {
+		t.Fatalf("finish = %v, want the drain slack", rec2.finish)
+	}
+}
+
+// TestStreamShortDrainSlack pins that DrainSlack overrides the deadline
+// horizon even when it is shorter: ticks stop at last release + slack and
+// the algorithm must resolve still-pooled orders in Finish, before their
+// deadlines would have expired naturally.
+func TestStreamShortDrainSlack(t *testing.T) {
+	env, net := newTestEnv(1)
+	o := mkOrder(net, 1, 5) // deadline = 5 + 2*direct = well past 25
+	if o.Deadline <= 25 {
+		t.Fatalf("test premise broken: deadline %v", o.Deadline)
+	}
+	rec := &recorder{}
+	Run(env, rec, []*order.Order{o}, RunOptions{TickEvery: 10, DrainSlack: 20})
+	if want := []float64{10, 20}; len(rec.ticks) != 2 || rec.ticks[0] != want[0] || rec.ticks[1] != want[1] {
+		t.Fatalf("ticks = %v, want %v", rec.ticks, want)
+	}
+	if rec.finish != 25 { // release 5 + slack 20, NOT the deadline
+		t.Fatalf("finish = %v, want 25", rec.finish)
+	}
+}
+
+// TestStreamTickBoundaryRelease pins the tie-break an order released
+// exactly on a tick boundary gets: the tick fires first, then the order
+// is delivered at the same timestamp.
+func TestStreamTickBoundaryRelease(t *testing.T) {
+	env, net := newTestEnv(1)
+	rec := &recorder{}
+	st, err := NewStream(env, rec, RunOptions{TickEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Submit(mkOrder(net, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.ticks) != 1 || rec.ticks[0] != 10 {
+		t.Fatalf("ticks before boundary order = %v, want [10]", rec.ticks)
+	}
+	if len(rec.orders) != 1 || rec.orders[0] != 10 {
+		t.Fatalf("order deliveries = %v", rec.orders)
+	}
+	if _, err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Same cadence through the batch adapter.
+	env2, _ := newTestEnv(1)
+	rec2 := &recorder{}
+	Run(env2, rec2, []*order.Order{mkOrder(net, 2, 10)}, RunOptions{TickEvery: 10})
+	if len(rec2.ticks) == 0 || rec2.ticks[0] != 10 || rec2.orders[0] != 10 {
+		t.Fatalf("adapter cadence: ticks=%v orders=%v", rec2.ticks, rec2.orders)
+	}
+}
+
+// TestStreamOrderingAndLifecycle covers the live-ingestion error surface:
+// out-of-order submissions, submissions behind a manually advanced clock,
+// and use after Close.
+func TestStreamOrderingAndLifecycle(t *testing.T) {
+	env, net := newTestEnv(1)
+	st, err := NewStream(env, &recorder{}, RunOptions{TickEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Submit(mkOrder(net, 1, 25)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Submit(mkOrder(net, 2, 12)); err == nil ||
+		!strings.Contains(err.Error(), "release order") {
+		t.Fatalf("out-of-order submit: %v", err)
+	}
+	if tk, err := st.Tick(); err != nil || tk != 30 {
+		t.Fatalf("manual tick = %v, %v (want 30)", tk, err)
+	}
+	if err := st.Submit(mkOrder(net, 3, 28)); err == nil {
+		t.Fatal("submit behind the advanced clock must fail")
+	}
+	if err := st.Submit(mkOrder(net, 4, 30)); err != nil {
+		t.Fatalf("submit at the advanced clock: %v", err)
+	}
+	if _, err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Submit(mkOrder(net, 5, 99)); err != ErrStreamClosed {
+		t.Fatalf("submit after close: %v", err)
+	}
+	if _, err := st.Tick(); err != ErrStreamClosed {
+		t.Fatalf("tick after close: %v", err)
+	}
+	if _, err := st.Close(); err != ErrStreamClosed {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestStreamNegativeRelease pins a legacy admission the redesign must
+// not lose: the batch runner simulated orders released before t=0 (the
+// clock simply started there), so the monotonicity check only applies
+// once an event has actually been delivered.
+func TestStreamNegativeRelease(t *testing.T) {
+	env, net := newTestEnv(1)
+	o := mkOrder(net, 1, 0)
+	o.Release, o.Deadline = -5, o.Deadline-5
+	rec := &recorder{}
+	m := Run(env, rec, []*order.Order{o}, RunOptions{TickEvery: 10})
+	if len(rec.orders) != 1 || rec.orders[0] != -5 {
+		t.Fatalf("order deliveries = %v", rec.orders)
+	}
+	if m.Total != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestRunOptionsValidate pins the validation that replaced the silent
+// TickEvery coercion: zero, negative and non-finite values are errors,
+// and DefaultRunOptions is the blessed default.
+func TestRunOptionsValidate(t *testing.T) {
+	if err := DefaultRunOptions().Validate(); err != nil {
+		t.Fatalf("blessed defaults invalid: %v", err)
+	}
+	for _, bad := range []RunOptions{
+		{},                              // zero TickEvery, previously coerced to 10
+		{TickEvery: -1},                 // negative
+		{TickEvery: 10, DrainSlack: -5}, // negative drain
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%+v must not validate", bad)
+		}
+	}
+	env, _ := newTestEnv(1)
+	if _, err := NewStream(env, &recorder{}, RunOptions{}); err == nil {
+		t.Fatal("NewStream must reject unvalidated options")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run must panic on invalid options instead of silently coercing")
+		}
+	}()
+	env2, _ := newTestEnv(1)
+	Run(env2, &recorder{}, nil, RunOptions{})
+}
+
+// TestConfigValidate pins the platform-parameter validation that replaced
+// NewEnv's silent defaulting.
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("blessed defaults invalid: %v", err)
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Fatal("zero-value config (previously coerced field by field) must not validate")
+	}
+	for name, mutate := range map[string]func(*Config){
+		"zero grid":      func(c *Config) { c.GridN = 0 },
+		"zero capacity":  func(c *Config) { c.Capacity = 0 },
+		"zero penalty":   func(c *Config) { c.UnifiedPenaltyFactor = 0 },
+		"negative alpha": func(c *Config) { c.Alpha = -1 },
+	} {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("%s must not validate", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEnv must panic on invalid config")
+		}
+	}()
+	newTestEnvBad()
+}
+
+func newTestEnvBad() {
+	env, _ := newTestEnv(1)
+	NewEnv(env.Net, nil, Config{})
+}

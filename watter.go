@@ -1,26 +1,50 @@
 // Package watter is the public API of this reproduction of "Wait to be
 // Faster: a Smart Pooling Framework for Dynamic Ridesharing" (ICDE 2024).
 //
-// The package re-exports the pieces a downstream user composes:
-//
-//   - road networks and synthetic cities (CityNYC/CityCDC/CityXIA, or any
-//     roadnet.Network),
-//   - the order pooling framework with its three dispatch strategies
-//     (NewOnline, NewTimeout, NewExpect),
-//   - the GDP and GAS baselines (NewGDP, NewGAS),
-//   - the platform simulator (NewEnvironment, Run), and
-//   - the offline pipeline behind WATTER-expect (TrainExpect).
-//
-// The quickest start:
+// The package is organized around an event-driven Platform: a validated,
+// service-shaped front over the simulation machinery. Orders stream in one
+// at a time (Submit), the periodic check advances on demand (Tick), and a
+// typed event bus (Events) publishes admissions, dispatches, rejections and
+// tick snapshots as they happen — the surface live dashboards, loggers and
+// admission controllers build on. Construction goes through functional
+// options that validate and return errors instead of silently defaulting:
 //
 //	city := watter.CityCDC().Build()
-//	orders := city.Orders(watter.WorkloadConfig{Orders: 2000, Seed: 1})
 //	workers := city.Workers(170, 4, 2)
-//	env := watter.NewEnvironment(city.Net, workers, watter.DefaultConfig())
-//	metrics := watter.Run(env, watter.NewOnline(), orders, watter.DefaultRunOptions())
-//	fmt.Println(metrics)
+//	p, err := watter.New(city.Net, workers,
+//	    watter.WithTick(10),
+//	    watter.WithAlgorithm(watter.NewTimeout()),
+//	)
+//	if err != nil { ... }
+//	events := p.Events() // subscribe before feeding
+//	done := make(chan struct{})
+//	go func() {
+//	    defer close(done)
+//	    for ev := range events {
+//	        if d, ok := ev.(watter.GroupDispatched); ok {
+//	            fmt.Printf("t=%.0fs worker %d takes %d orders\n", d.Time, d.WorkerID, d.Size())
+//	        }
+//	    }
+//	}()
+//	for _, o := range city.Orders(watter.WorkloadConfig{Orders: 2000, Seed: 1}) {
+//	    if err := p.Submit(o); err != nil { ... }
+//	}
+//	metrics, err := p.Close()
+//	<-done // the bus closed; let the consumer drain the tail
 //
-// See examples/ for complete programs and DESIGN.md for the system map.
+// Paper-replication mode — the batch entry point the evaluation harness
+// uses — is a thin adapter over the same streaming core: Replay (or the
+// legacy Run) clones a pre-materialized workload, sorts it by release and
+// feeds it through, producing bit-identical metrics to the pre-redesign
+// batch runner (enforced by a property test).
+//
+// The rest of the package re-exports the pieces a downstream user
+// composes: road networks and synthetic cities (CityNYC/CityCDC/CityXIA),
+// the pooling framework's three dispatch strategies (NewOnline,
+// NewTimeout, NewExpect via TrainExpect), the GDP and GAS baselines, and
+// the parallel experiment harness (NewSweepRunner). See examples/ for
+// complete programs — examples/live is the streaming quickstart — and
+// DESIGN.md for the system map.
 package watter
 
 import (
@@ -28,6 +52,7 @@ import (
 	"watter/internal/dataset"
 	"watter/internal/exp"
 	"watter/internal/order"
+	"watter/internal/platform"
 	"watter/internal/pool"
 	"watter/internal/roadnet"
 	"watter/internal/sim"
@@ -45,13 +70,14 @@ type (
 	Group = order.Group
 	// Metrics carries the four evaluation measurements.
 	Metrics = sim.Metrics
-	// Env is the simulated ridesharing platform.
+	// Env is the simulated ridesharing platform state (paper-replication
+	// mode; the Platform owns one internally).
 	Env = sim.Env
 	// Config fixes platform parameters (alpha/beta, grid size, capacity).
 	Config = sim.Config
-	// RunOptions tunes a simulation run (Δt, drain, timing).
+	// RunOptions tunes a batch replay (Δt, drain, timing).
 	RunOptions = sim.RunOptions
-	// Algorithm is any dispatch policy the simulator can drive.
+	// Algorithm is any dispatch policy the platform can drive.
 	Algorithm = sim.Algorithm
 	// WorkloadConfig parameterizes synthetic order generation.
 	WorkloadConfig = dataset.WorkloadConfig
@@ -89,6 +115,55 @@ type (
 	MetricSummary = stats.Summary
 )
 
+// The event-driven platform surface.
+type (
+	// Platform is a ridesharing service instance: streaming order
+	// ingestion (Submit/Tick/Close), a typed event bus (Events), and
+	// batch replay (Replay) over one network, fleet and algorithm.
+	Platform = platform.Platform
+	// PlatformOption configures New; invalid values surface as errors.
+	PlatformOption = platform.Option
+	// Event is one observable platform outcome; the concrete variants
+	// are OrderAdmitted, GroupDispatched, OrderRejected, TickCompleted.
+	Event = platform.Event
+	// OrderAdmitted fires when an order enters the platform.
+	OrderAdmitted = platform.OrderAdmitted
+	// GroupDispatched fires when a group is booked on a worker.
+	GroupDispatched = platform.GroupDispatched
+	// OrderRejected fires when an order is rejected, with its penalties.
+	OrderRejected = platform.OrderRejected
+	// TickCompleted fires after each periodic check with a metrics
+	// snapshot (all fields deterministic except DecisionSeconds).
+	TickCompleted = platform.TickCompleted
+	// ServiceRecord is one served order's share of a dispatch.
+	ServiceRecord = platform.ServiceRecord
+)
+
+// Platform construction options (see platform.New for semantics).
+var (
+	// WithTick sets the periodic-check interval Δt in seconds.
+	WithTick = platform.WithTick
+	// WithDrainSlack fixes the drain horizon to last release + slack.
+	WithDrainSlack = platform.WithDrainSlack
+	// WithConfig replaces the platform parameters (validated).
+	WithConfig = platform.WithConfig
+	// WithAlgorithm installs the dispatch policy (default WATTER-online).
+	WithAlgorithm = platform.WithAlgorithm
+	// WithPool tunes the shareability graph behind the algorithm.
+	WithPool = platform.WithPool
+	// WithMeasuredTime toggles wall-clock accounting of algorithm hooks.
+	WithMeasuredTime = platform.WithMeasuredTime
+	// WithEventBuffer sizes the event channel (default 256).
+	WithEventBuffer = platform.WithEventBuffer
+)
+
+// New builds an event-driven platform over a network and fleet. Every
+// parameter is validated; construction fails loudly instead of silently
+// coercing. With no options it runs WATTER-online at the paper's Δt = 10 s.
+func New(net Network, workers []*Worker, opts ...PlatformOption) (*Platform, error) {
+	return platform.New(net, workers, opts...)
+}
+
 // City profiles mirroring the paper's three datasets.
 var (
 	CityNYC = dataset.NYC
@@ -96,7 +171,8 @@ var (
 	CityXIA = dataset.XIA
 )
 
-// DefaultConfig returns the paper's default platform parameters.
+// DefaultConfig returns the paper's default platform parameters — the one
+// blessed source of defaults (constructors validate, they don't coerce).
 func DefaultConfig() Config { return sim.DefaultConfig() }
 
 // DefaultRunOptions returns Δt = 10 s with timing enabled.
@@ -105,12 +181,17 @@ func DefaultRunOptions() RunOptions { return sim.DefaultRunOptions() }
 // DefaultPoolOptions returns the default shareability-graph tuning.
 func DefaultPoolOptions() PoolOptions { return pool.DefaultOptions() }
 
-// NewEnvironment builds a simulated platform over a network and fleet.
+// NewEnvironment builds a simulated platform over a network and fleet
+// (paper-replication mode). It panics on invalid config; the validated,
+// error-returning surface is New.
 func NewEnvironment(net Network, workers []*Worker, cfg Config) *Env {
 	return sim.NewEnv(net, workers, cfg)
 }
 
-// Run drives an algorithm over an order stream and returns its metrics.
+// Run is paper-replication mode: it replays a pre-materialized order
+// stream through the streaming core and returns the final metrics. The
+// caller's orders are never mutated. New + Replay is the equivalent
+// validated surface; Run panics on invalid options.
 func Run(env *Env, alg Algorithm, orders []*Order, opts RunOptions) *Metrics {
 	return sim.Run(env, alg, orders, opts)
 }

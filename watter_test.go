@@ -22,6 +22,53 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadePlatform exercises the event-driven surface end to end: a
+// validated constructor, streamed submissions, live events, and metrics
+// identical to batch replay of the same workload.
+func TestFacadePlatform(t *testing.T) {
+	city := CityXIA().Build()
+	orders := city.Orders(WorkloadConfig{Orders: 300, Seed: 1})
+	mkFleet := func() []*Worker { return city.Workers(30, 4, 2) }
+
+	if _, err := New(city.Net, mkFleet(), WithTick(0)); err == nil {
+		t.Fatal("invalid tick must be rejected, not coerced")
+	}
+	p, err := New(city.Net, mkFleet(), WithMeasuredTime(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := p.Events()
+	var dispatched, rejected int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			switch e := ev.(type) {
+			case GroupDispatched:
+				dispatched += e.Size()
+			case OrderRejected:
+				rejected++
+			}
+		}
+	}()
+	streamed, err := p.Replay(orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if dispatched != streamed.Served || rejected != streamed.Rejected {
+		t.Fatalf("events %d/%d vs metrics %+v", dispatched, rejected, streamed)
+	}
+
+	env := NewEnvironment(city.Net, mkFleet(), DefaultConfig())
+	opts := DefaultRunOptions()
+	opts.MeasureTime = false
+	batch := Run(env, NewOnline(), orders, opts)
+	if *batch != *streamed {
+		t.Fatalf("facade replay diverged:\nbatch:  %+v\nstream: %+v", *batch, *streamed)
+	}
+}
+
 func TestFacadeStrategies(t *testing.T) {
 	for _, alg := range []Algorithm{NewOnline(), NewTimeout(), NewConstantThreshold(90), NewGDP(), NewGAS()} {
 		if alg == nil || alg.Name() == "" {
