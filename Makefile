@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench lint fmt ci benchsweep benchroute benchstream clean
+.PHONY: build examples test race bench lint fmt ci benchsweep benchroute benchstream benchpool clean
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,10 @@ benchroute:
 # Regenerate the event-bus vs batch-replay overhead baseline.
 benchstream:
 	$(GO) run ./cmd/watterbench -benchstream BENCH_stream.json
+
+# Regenerate the pool-maintenance plan-cache baseline.
+benchpool:
+	$(GO) run ./cmd/watterbench -benchpool BENCH_pool.json
 
 clean:
 	$(GO) clean

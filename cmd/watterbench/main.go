@@ -11,6 +11,7 @@
 //	watterbench -benchsweep BENCH_sweep.json         # sequential-vs-parallel timing
 //	watterbench -benchroute BENCH_routing.json       # routing engine vs cold Dijkstra
 //	watterbench -benchstream BENCH_stream.json       # event bus vs batch replay
+//	watterbench -benchpool BENCH_pool.json           # plan cache vs replan-always pool
 //	watterbench -list                                # enumerate sweeps
 //
 // The -scale flag multiplies order and worker counts; 1.0 is the harness
@@ -20,21 +21,28 @@
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"watter/internal/dataset"
 	"watter/internal/exp"
 	"watter/internal/geo"
+	"watter/internal/gridindex"
+	"watter/internal/order"
 	"watter/internal/platform"
+	"watter/internal/pool"
 	"watter/internal/roadnet"
+	"watter/internal/route"
 	"watter/internal/sim"
 )
 
@@ -53,6 +61,7 @@ func main() {
 		benchsweep  = flag.String("benchsweep", "", "run the sequential-vs-parallel engine benchmark and write its JSON report to this file")
 		benchroute  = flag.String("benchroute", "", "run the point-to-point routing engine benchmark and write its JSON report to this file")
 		benchstream = flag.String("benchstream", "", "run the event-bus-vs-batch-replay benchmark and write its JSON report to this file")
+		benchpool   = flag.String("benchpool", "", "run the pool-maintenance plan-cache benchmark and write its JSON report to this file")
 	)
 	flag.Parse()
 
@@ -79,6 +88,13 @@ func main() {
 	}
 	if *benchstream != "" {
 		if err := runBenchStream(*benchstream, *scale, *seed, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchpool != "" {
+		if err := runBenchPool(*benchpool, *scale, *seed, *quiet); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -546,6 +562,266 @@ func runBenchStream(path string, scale float64, seed int64, quiet bool) error {
 		rep.BatchSeconds, rep.StreamSeconds, rep.OverheadFactor, rep.EventsPerRun, rep.Identical)
 	if !identical {
 		return fmt.Errorf("benchstream: streamed metrics diverged from batch replay:\nbatch:  %+v\nstream: %+v", batchM, streamM)
+	}
+	return nil
+}
+
+// poolReport is the JSON shape of the pool-maintenance plan-cache
+// benchmark (BENCH_pool.json).
+type poolReport struct {
+	City              string  `json:"city"`
+	Nodes             int     `json:"nodes"`
+	Orders            int     `json:"pool_orders"`
+	Ticks             int     `json:"ticks"`
+	Scale             float64 `json:"scale"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	UncachedSeconds   float64 `json:"uncached_seconds"`
+	CachedSeconds     float64 `json:"cached_seconds"`
+	Speedup           float64 `json:"speedup"`
+	CacheHits         uint64  `json:"cache_hits"`
+	NegativeHits      uint64  `json:"negative_hits"`
+	CacheMisses       uint64  `json:"cache_misses"`
+	Renewed           uint64  `json:"renewed"`
+	HitRate           float64 `json:"hit_rate"`
+	PlansAvoided      uint64  `json:"plans_avoided"`
+	PlansMaterialized uint64  `json:"plans_materialized"`
+	PlansReused       uint64  `json:"plans_reused"`
+	LegBlocks         int     `json:"leg_blocks"`
+	DecisionsSame     bool    `json:"pool_decisions_identical"`
+	SimCity           string  `json:"sim_city"`
+	SimAlgs           string  `json:"sim_algs"`
+	SimCachedSecs     float64 `json:"sim_cached_seconds"`
+	SimUncachedSecs   float64 `json:"sim_uncached_seconds"`
+	Identical         bool    `json:"metrics_bit_identical"`
+}
+
+// poolWorkload is a deterministic pool-maintenance trace: clustered orders
+// on a perturbed-grid road graph, released over a two-hour-ish window.
+func poolWorkload(g *roadnet.Graph, side, n int, horizon float64, seed int64) []*order.Order {
+	rng := rand.New(rand.NewSource(seed*31 + 7))
+	type hub struct{ x, y int }
+	hubs := make([]hub, 6)
+	for i := range hubs {
+		hubs[i] = hub{rng.Intn(side), rng.Intn(side)}
+	}
+	near := func(h hub) geo.NodeID {
+		x := clamp(h.x+rng.Intn(9)-4, 0, side-1)
+		y := clamp(h.y+rng.Intn(9)-4, 0, side-1)
+		return geo.NodeID(y*side + x)
+	}
+	orders := make([]*order.Order, 0, n)
+	for i := 0; i < n; i++ {
+		pu := near(hubs[rng.Intn(len(hubs))])
+		do := near(hubs[rng.Intn(len(hubs))])
+		if pu == do {
+			continue
+		}
+		direct := g.Cost(pu, do)
+		release := rng.Float64() * horizon
+		tau := 1.3 + rng.Float64()*0.7
+		orders = append(orders, &order.Order{
+			ID: i + 1, Pickup: pu, Dropoff: do, Riders: 1 + rng.Intn(2),
+			Release: release, Deadline: release + tau*direct,
+			WaitLimit: 0.8 * direct, DirectCost: direct,
+		})
+	}
+	sort.SliceStable(orders, func(i, j int) bool { return orders[i].Release < orders[j].Release })
+	return orders
+}
+
+// runPoolTrace replays the workload through one pool — tick-driven expiry,
+// insertion and last-call-style group dispatch, the same churn Algorithm 1
+// generates — and folds every best-group decision (members, τg, plan cost,
+// stops, arrivals) into an FNV digest so two arms can be compared bit for
+// bit. Returns the digest, the elapsed wall time and the pool itself.
+func runPoolTrace(g *roadnet.Graph, orders []*order.Order, horizon float64, disable bool) (uint64, float64, *pool.Pool) {
+	ix := gridindex.New(g, 10)
+	planner := route.NewPlanner(g)
+	opt := pool.DefaultOptions()
+	opt.DisablePlanCache = disable
+	p := pool.New(planner, ix, opt)
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	// Record-type tags keep the digest injective: every record starts with
+	// a tag word and hashes each field as its own word (no bit packing), so
+	// two different decision streams can't collide by compensation.
+	const (
+		tagReject   = 1
+		tagNoGroup  = 2
+		tagBest     = 3
+		tagDispatch = 4
+	)
+	start := time.Now()
+	next := 0
+	for now := 0.0; now <= horizon+300; now += 10 {
+		for _, id := range p.ExpireEdges(now) {
+			p.Remove(id, now)
+			w64(tagReject)
+			w64(uint64(id))
+		}
+		for next < len(orders) && orders[next].Release <= now {
+			p.Insert(orders[next], now)
+			next++
+		}
+		for _, id := range p.OrderIDs() {
+			if !p.Contains(id) {
+				continue // left earlier this pass inside a dispatched group
+			}
+			bg, exp, ok := p.BestGroup(id)
+			if !ok {
+				w64(tagNoGroup)
+				w64(uint64(id))
+				continue
+			}
+			w64(tagBest)
+			w64(uint64(id))
+			w64(math.Float64bits(exp))
+			w64(math.Float64bits(bg.Plan.Cost))
+			for i, s := range bg.Plan.Stops {
+				w64(uint64(s.OrderID))
+				w64(uint64(s.Node))
+				w64(uint64(s.Kind))
+				w64(math.Float64bits(bg.Plan.Arrive[i]))
+			}
+			// Last-call dispatch: the group leaves before its horizon dies.
+			if exp < now+30 {
+				w64(tagDispatch)
+				w64(uint64(id))
+				p.RemoveGroup(bg, now)
+			}
+		}
+	}
+	return h.Sum64(), time.Since(start).Seconds(), p
+}
+
+// runBenchPool measures what the clique plan cache buys on the pool
+// maintenance hot path. The primary arm replays a deterministic
+// insert/expire/dispatch trace on a perturbed-grid road graph twice —
+// memoization on vs off — and verifies every best-group decision is
+// bit-identical before reporting the wall-clock ratio. A secondary arm
+// runs full CDC simulations (WATTER-online and WATTER-timeout) cache-on
+// and cache-off and requires bit-identical Metrics, pinning the
+// determinism contract end to end.
+func runBenchPool(path string, scale float64, seed int64, quiet bool) error {
+	side := int(36 * math.Sqrt(scale))
+	if side < 14 {
+		side = 14
+	}
+	n := int(900 * scale)
+	if n < 60 {
+		return fmt.Errorf("benchpool: scale %.2f too small", scale)
+	}
+	const horizon = 1800.0
+	logf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+	g := roadnet.NewPerturbedGrid(side, side, 200, 8, 0.3, seed)
+	orders := poolWorkload(g, side, n, horizon, seed)
+	logf("benchpool: %dx%d city (%d nodes), %d orders over %.0fs\n",
+		side, side, g.NumNodes(), len(orders), horizon)
+
+	ticks := int(horizon+300)/10 + 1
+	uncachedDigest, uncachedSecs, _ := runPoolTrace(g, orders, horizon, true)
+	logf("benchpool: uncached trace %.3fs\n", uncachedSecs)
+	cachedDigest, cachedSecs, cp := runPoolTrace(g, orders, horizon, false)
+	logf("benchpool: cached trace %.3fs\n", cachedSecs)
+	st := cp.CacheStats()
+	decisionsSame := cachedDigest == uncachedDigest
+
+	// Sim-level determinism: full runs, cache on vs off, bit-identical.
+	simAlgs := []string{"WATTER-online", "WATTER-timeout"}
+	base := exp.DefaultParams(dataset.CDC())
+	base.Seed = seed
+	base.Orders = int(float64(base.Orders) * scale)
+	base.Workers = int(float64(base.Workers) * scale)
+	identical := true
+	var simCached, simUncached float64
+	for _, name := range simAlgs {
+		runSim := func(disable bool) (*sim.Metrics, float64) {
+			city := base.City.Build()
+			workers := city.Workers(base.Workers, base.MaxCap, base.Seed+1000)
+			cfg := sim.DefaultConfig()
+			cfg.GridN = base.GridN
+			cfg.Capacity = base.MaxCap
+			alg := exp.MustBuild(name, base)
+			if ps, ok := alg.(interface{ SetPoolOptions(pool.Options) }); ok {
+				opt := pool.DefaultOptions()
+				opt.Capacity = base.MaxCap
+				opt.MaxGroupSize = base.MaxCap
+				opt.DisablePlanCache = disable
+				ps.SetPoolOptions(opt)
+			}
+			workload := city.Orders(dataset.WorkloadConfig{
+				Orders: base.Orders, Seed: base.Seed, TauScale: base.TauScale, Eta: base.Eta,
+			})
+			startSim := time.Now()
+			m := sim.Run(sim.NewEnv(city.Net, workers, cfg), alg, workload,
+				sim.RunOptions{TickEvery: base.TickEvery})
+			return m, time.Since(startSim).Seconds()
+		}
+		mc, sc := runSim(false)
+		mu, su := runSim(true)
+		simCached += sc
+		simUncached += su
+		if *mc != *mu {
+			identical = false
+			logf("benchpool: %s diverged:\ncached:   %+v\nuncached: %+v\n", name, *mc, *mu)
+		}
+	}
+
+	rep := poolReport{
+		City:              fmt.Sprintf("perturbed-grid-%dx%d", side, side),
+		Nodes:             g.NumNodes(),
+		Orders:            len(orders),
+		Ticks:             ticks,
+		Scale:             scale,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		UncachedSeconds:   uncachedSecs,
+		CachedSeconds:     cachedSecs,
+		Speedup:           uncachedSecs / cachedSecs,
+		CacheHits:         st.Hits,
+		NegativeHits:      st.NegativeHits,
+		CacheMisses:       st.Misses,
+		Renewed:           st.Renewed,
+		HitRate:           st.HitRate(),
+		PlansAvoided:      st.PlansAvoided(),
+		PlansMaterialized: st.PlansMaterialized,
+		PlansReused:       st.PlansReused,
+		LegBlocks:         cp.LegBlocks(),
+		DecisionsSame:     decisionsSame,
+		SimCity:           "CDC",
+		SimAlgs:           strings.Join(simAlgs, ","),
+		SimCachedSecs:     simCached,
+		SimUncachedSecs:   simUncached,
+		Identical:         identical,
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchpool: uncached=%.3fs cached=%.3fs speedup=%.1fx hit-rate=%.1f%% plans-avoided=%d decisions-identical=%v metrics-identical=%v\n",
+		rep.UncachedSeconds, rep.CachedSeconds, rep.Speedup, 100*rep.HitRate, rep.PlansAvoided, rep.DecisionsSame, rep.Identical)
+	if !decisionsSame {
+		return fmt.Errorf("benchpool: cached pool decisions diverged from the replan-always reference")
+	}
+	if !identical {
+		return fmt.Errorf("benchpool: sim metrics diverged with the plan cache on")
+	}
+	if rep.HitRate <= 0 {
+		return fmt.Errorf("benchpool: cache recorded no hits (rate %.3f)", rep.HitRate)
+	}
+	if rep.Speedup <= 1 {
+		return fmt.Errorf("benchpool: cached arm (%.3fs) did not beat replan-always (%.3fs)", cachedSecs, uncachedSecs)
 	}
 	return nil
 }

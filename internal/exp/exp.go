@@ -239,8 +239,15 @@ func (r *Runner) train(p Params) *Trained {
 	feat := mdp.NewFeaturizer(plat.Env().Index, horizonOf(hist))
 	feat.SlotSeconds = p.TickEvery
 	plat.Env().SetObservers(func(g *order.Group, now float64) {
-		for _, v := range g.ExtraTimes(now, 1, 1) {
-			extraTimes = append(extraTimes, v)
+		// Harvest in g.Orders order (not map order): the GMM fit folds
+		// samples in sequence, so collection order must be deterministic
+		// for the offline pipeline to be reproducible per seed (§8).
+		for _, o := range g.Orders {
+			st, ok := g.Plan.ServiceTime(o.ID)
+			if !ok {
+				continue
+			}
+			extraTimes = append(extraTimes, o.ExtraTime(st, now, 1, 1))
 		}
 	}, nil)
 	if _, err := plat.Replay(hist); err != nil {

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"testing"
+
+	"watter/internal/pool"
+	"watter/internal/sim"
+)
+
+// TestPoolCacheEquivalence is the acceptance test of the clique plan cache:
+// for all five algorithms and two seeds, a full simulation with the pool's
+// memoization on must produce per-seed Metrics bit-identical to one with
+// every memo disabled (plan cache and leg-block store both off). The
+// baselines have no pool and pin the harness path; the three WATTER
+// variants exercise the cache on every insert, tick and dispatch.
+func TestPoolCacheEquivalence(t *testing.T) {
+	r := NewRunner()
+	base := smallParams()
+	for _, seed := range []int64{1, 2} {
+		p := base
+		p.Seed = seed
+		p.Train.Seed = base.Seed // replicates share one trained model
+		for _, name := range AlgNames {
+			run := func(disable bool) (*sim.Metrics, pool.CacheStats) {
+				alg, err := r.Build(name, p)
+				if err != nil {
+					t.Fatalf("Build(%s): %v", name, err)
+				}
+				if ps, ok := alg.(interface{ SetPoolOptions(pool.Options) }); ok {
+					opt := poolOptions(p)
+					opt.DisablePlanCache = disable
+					ps.SetPoolOptions(opt)
+				}
+				city := r.city(p.City)
+				_, orders, workers := r.workload(p)
+				m := sim.Run(sim.NewEnv(city.Net, workers, simConfig(p)), alg, orders,
+					sim.RunOptions{TickEvery: p.TickEvery})
+				var st pool.CacheStats
+				if pp, ok := alg.(interface{ Pool() *pool.Pool }); ok && pp.Pool() != nil {
+					st = pp.Pool().CacheStats()
+				}
+				return m, st
+			}
+			cached, st := run(false)
+			uncached, off := run(true)
+			if *cached != *uncached {
+				t.Fatalf("%s seed %d: metrics diverged with plan cache on:\ncached:   %+v\nuncached: %+v",
+					name, seed, *cached, *uncached)
+			}
+			if cached.Served == 0 || cached.Rejected == 0 {
+				t.Fatalf("%s seed %d: degenerate run (%d served / %d rejected), equivalence is weak",
+					name, seed, cached.Served, cached.Rejected)
+			}
+			if name != "GDP" && name != "GAS" {
+				if st.PlansAvoided() == 0 {
+					t.Fatalf("%s seed %d: cache never hit (%+v), equivalence is vacuous", name, seed, st)
+				}
+				if off.Hits+off.NegativeHits+off.Misses != 0 {
+					t.Fatalf("%s seed %d: disabled cache recorded traffic: %+v", name, seed, off)
+				}
+			}
+		}
+	}
+}

@@ -179,9 +179,20 @@ func appendInt(b []byte, v int) []byte {
 	return append(b, tmp[i:]...)
 }
 
+// ExtraTime returns the order's extra time t_e = alpha*t_d + beta*t_r
+// (paper Def. 6) given its service time st (offset from route start):
+// detour t_d = st - cost(lp, ld), response t_r = now - t(i). Every
+// extra-time computation in the system — Group.ExtraTimes/AvgExtraTime,
+// the pool's cost-only candidate comparison, the training harvest — goes
+// through this one function so the bits always agree.
+func (o *Order) ExtraTime(st, now, alpha, beta float64) float64 {
+	detour := st - o.DirectCost
+	response := now - o.Release
+	return alpha*detour + beta*response
+}
+
 // ExtraTimes returns, for a group dispatched at time `now`, the per-order
-// extra time t_e = alpha*t_d + beta*t_r (paper Def. 6), keyed by order ID.
-// Detour t_d = T(L(i)) - cost(lp, ld); response t_r = now - t(i).
+// extra time (paper Def. 6) keyed by order ID.
 func (g *Group) ExtraTimes(now, alpha, beta float64) map[int]float64 {
 	out := make(map[int]float64, len(g.Orders))
 	for _, o := range g.Orders {
@@ -189,22 +200,27 @@ func (g *Group) ExtraTimes(now, alpha, beta float64) map[int]float64 {
 		if !ok {
 			continue
 		}
-		detour := st - o.DirectCost
-		response := now - o.Release
-		out[o.ID] = alpha*detour + beta*response
+		out[o.ID] = o.ExtraTime(st, now, alpha, beta)
 	}
 	return out
 }
 
 // AvgExtraTime returns the group's average extra time at dispatch time now
-// (the t̄e used by the threshold-based strategy, Algorithm 2).
+// (the t̄e used by the threshold-based strategy, Algorithm 2). It
+// accumulates in g.Orders order — never over a map — so the value is a
+// deterministic function of the group; the pool's plan cache compares
+// these sums bit for bit between cached and freshly planned candidates.
 func (g *Group) AvgExtraTime(now, alpha, beta float64) float64 {
 	if len(g.Orders) == 0 {
 		return 0
 	}
 	var sum float64
-	for _, v := range g.ExtraTimes(now, alpha, beta) {
-		sum += v
+	for _, o := range g.Orders {
+		st, ok := g.Plan.ServiceTime(o.ID)
+		if !ok {
+			continue
+		}
+		sum += o.ExtraTime(st, now, alpha, beta)
 	}
 	return sum / float64(len(g.Orders))
 }

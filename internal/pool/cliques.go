@@ -1,7 +1,7 @@
 package pool
 
 import (
-	"sort"
+	"slices"
 
 	"watter/internal/order"
 )
@@ -12,31 +12,39 @@ import (
 // standard common-neighbor intersection, so every visited set is a clique
 // by construction; rider-count pruning cuts branches that can never fit the
 // vehicle. MaxCliquesPerUpdate bounds the total number of visits.
+//
+// All working storage (the neighbor list, the per-depth candidate lists and
+// the member stack) lives in pooled scratch: candidate lists for deeper
+// levels are appended to one shared stack buffer and truncated on
+// backtrack, so a refresh allocates nothing however many cliques it
+// explores. The member slice handed to consider is scratch too — consider
+// must copy whatever it keeps (the plan cache does).
 func (p *Pool) enumerateCliques(n *node, now float64, consider func([]*order.Order)) {
-	neighbors := make([]int, 0, len(n.edges))
+	buf := p.cliqueBuf[:0]
 	for peer, e := range n.edges {
 		if e.expiry >= now {
-			neighbors = append(neighbors, peer)
+			buf = append(buf, peer)
 		}
 	}
-	sort.Ints(neighbors)
-	if len(neighbors) == 0 {
+	slices.Sort(buf) // sorted iteration keeps enumeration deterministic
+	if len(buf) == 0 {
+		p.cliqueBuf = buf
 		return
 	}
 
 	budget := p.opt.MaxCliquesPerUpdate
 	unlimited := budget <= 0
 
-	members := []*order.Order{n.o}
+	members := append(p.memberBuf[:0], n.o)
 	riders := n.o.Riders
 
-	var expand func(cands []int)
-	expand = func(cands []int) {
-		for i, id := range cands {
+	var expand func(lo, hi int)
+	expand = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			if !unlimited && budget <= 0 {
 				return
 			}
-			peer := p.nodes[id]
+			peer := p.nodes[buf[i]]
 			if peer == nil {
 				continue
 			}
@@ -52,20 +60,25 @@ func (p *Pool) enumerateCliques(n *node, now float64, consider func([]*order.Ord
 			if len(members) < p.opt.MaxGroupSize {
 				// Candidates after i that are adjacent to the new member
 				// (and, inductively, to all previous members) with a live
-				// edge keep the set a clique.
-				var next []int
-				for _, cid := range cands[i+1:] {
+				// edge keep the set a clique. They are pushed onto the
+				// shared stack past this level's slice and popped after the
+				// recursive expansion returns.
+				mark := len(buf)
+				for _, cid := range buf[i+1 : hi] {
 					if e, ok := peer.edges[cid]; ok && e.expiry >= now {
-						next = append(next, cid)
+						buf = append(buf, cid)
 					}
 				}
-				if len(next) > 0 {
-					expand(next)
+				if len(buf) > mark {
+					expand(mark, len(buf))
 				}
+				buf = buf[:mark]
 			}
 			riders -= peer.o.Riders
 			members = members[:len(members)-1]
 		}
 	}
-	expand(neighbors)
+	expand(0, len(buf))
+	p.cliqueBuf = buf
+	p.memberBuf = members[:0]
 }

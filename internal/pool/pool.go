@@ -6,13 +6,21 @@
 // sufficient check), and every pooled order keeps a pointer to its current
 // best group — the clique whose minimal-cost route gives the smallest
 // average extra time.
+//
+// Best-group maintenance is the system's hot path, so the pool memoizes
+// aggressively (see plancache.go): every considered clique is first
+// resolved through a plan cache keyed by its sorted member signature, the
+// cost-only route DP assembles leg matrices from per-pair blocks cached at
+// edge-creation time, and only cliques that actually win a best-group race
+// materialize a RoutePlan. All of it is behaviorally invisible —
+// Options.DisablePlanCache turns every memo off and the pool makes
+// bit-identical decisions either way.
 package pool
 
 import (
 	"math"
-	"sort"
+	"slices"
 
-	"watter/internal/geo"
 	"watter/internal/gridindex"
 	"watter/internal/order"
 	"watter/internal/route"
@@ -32,6 +40,12 @@ type Options struct {
 	// MaxCliquesPerUpdate caps the number of candidate cliques explored
 	// per best-group recomputation; 0 means unlimited.
 	MaxCliquesPerUpdate int
+	// DisablePlanCache turns off the clique plan cache and the per-edge
+	// leg-block store, forcing every best-group refresh to replan from
+	// scratch. Decisions are bit-identical either way (the caches memoize
+	// pure functions of the member set); the switch exists for the
+	// equivalence tests and the -benchpool uncached baseline arm.
+	DisablePlanCache bool
 }
 
 // DefaultOptions matches the paper's defaults (capacity 4, 10x10 grid
@@ -66,10 +80,34 @@ type Pool struct {
 	nodes map[int]*node
 	cells [][]int // cell -> order IDs with pickup in the cell
 
+	// Memoization (nil when Options.DisablePlanCache): the clique plan
+	// cache and the per-pair leg-block store. Lifetime is the pool's —
+	// one simulation run.
+	cache *planCache
+	legs  *route.LegStore
+
+	// Reusable scratch for the maintenance hot path. The pool is
+	// single-goroutine (each simulation run owns its pool), so plain
+	// fields suffice.
+	candBuf   []int            // candidates()
+	cliqueBuf []int            // enumerateCliques candidate stack
+	memberBuf []*order.Order   // enumerateCliques member stack
+	canonBuf  []*order.Order   // canonical (sorted-by-ID) member view
+	keyBuf    []byte           // cache key rendering
+	improve   map[int]improved // refreshBest deferred member updates
+	pairProbe *planEntry       // reusable scratch for failed pair tests
+
 	// Demand distributions over cells, maintained incrementally; these are
 	// the MDP state's sO vectors.
 	pickupDemand  gridindex.Distribution
 	dropoffDemand gridindex.Distribution
+}
+
+// improved tracks, during one refreshBest enumeration, the best candidate
+// seen so far for a member other than the refreshed order.
+type improved struct {
+	avg float64
+	ent *planEntry
 }
 
 // New builds an empty pool.
@@ -80,15 +118,21 @@ func New(planner *route.Planner, ix *gridindex.Index, opt Options) *Pool {
 	if opt.MaxGroupSize <= 0 || opt.MaxGroupSize > route.MaxGroupSize {
 		opt.MaxGroupSize = min(opt.Capacity, route.MaxGroupSize)
 	}
-	return &Pool{
+	p := &Pool{
 		planner:       planner,
 		ix:            ix,
 		opt:           opt,
 		nodes:         make(map[int]*node),
 		cells:         make([][]int, ix.NumCells()),
+		improve:       make(map[int]improved),
 		pickupDemand:  ix.NewDistribution(),
 		dropoffDemand: ix.NewDistribution(),
 	}
+	if !opt.DisablePlanCache {
+		p.cache = newPlanCache()
+		p.legs = route.NewLegStore(planner.Net)
+	}
+	return p
 }
 
 // Len returns the number of pooled orders.
@@ -112,7 +156,7 @@ func (p *Pool) OrderIDs() []int {
 	for id := range p.nodes {
 		ids = append(ids, id)
 	}
-	sort.Ints(ids)
+	slices.Sort(ids)
 	return ids
 }
 
@@ -166,16 +210,16 @@ func (p *Pool) Insert(o *order.Order, now float64) int {
 	added := 0
 	for _, candID := range p.candidates(n) {
 		cand := p.nodes[candID]
-		plan, ok := p.planner.Shareable(o, cand.o, now, p.opt.Capacity)
-		if !ok {
+		// The pairwise test doubles as the 2-clique's cache fill (and, via
+		// the leg store, computes the pair's 4x4 cost block exactly once).
+		// Failed tests persist nothing — an edgeless pair can never be
+		// enumerated again.
+		ent := p.pairEntryFor(o, cand.o, now)
+		if !ent.feasible || ent.expiry < now {
 			continue
 		}
-		expiry := groupExpiry([]*order.Order{o, cand.o}, plan)
-		if expiry < now {
-			continue
-		}
-		n.edges[candID] = edge{peer: candID, expiry: expiry}
-		cand.edges[o.ID] = edge{peer: o.ID, expiry: expiry}
+		n.edges[candID] = edge{peer: candID, expiry: ent.expiry}
+		cand.edges[o.ID] = edge{peer: o.ID, expiry: ent.expiry}
 		added++
 	}
 	// Incremental best-group maintenance (the paper's Appendix A shape):
@@ -198,7 +242,7 @@ func (p *Pool) Remove(id int, now float64) {
 		neighbors = append(neighbors, peer)
 		delete(p.nodes[peer].edges, id)
 	}
-	sort.Ints(neighbors)
+	slices.Sort(neighbors)
 	p.dropNode(id, n)
 	for _, peer := range neighbors {
 		pn := p.nodes[peer]
@@ -231,6 +275,7 @@ func (p *Pool) dropNode(id int, n *node) {
 	p.pickupDemand[p.ix.CellOf(n.o.Pickup)]--
 	p.dropoffDemand[p.ix.CellOf(n.o.Dropoff)]--
 	delete(p.nodes, id)
+	p.evictOrder(id)
 }
 
 // ExpireEdges drops edges and best groups that are no longer dispatchable
@@ -247,11 +292,11 @@ func (p *Pool) ExpireEdges(now float64) (expiredOrders []int) {
 			}
 		}
 	}
-	sort.Slice(dead, func(i, j int) bool {
-		if dead[i].a != dead[j].a {
-			return dead[i].a < dead[j].a
+	slices.SortFunc(dead, func(x, y pair) int {
+		if x.a != y.a {
+			return x.a - y.a
 		}
-		return dead[i].b < dead[j].b
+		return x.b - y.b
 	})
 	touched := map[int]bool{}
 	for _, d := range dead {
@@ -272,11 +317,11 @@ func (p *Pool) ExpireEdges(now float64) (expiredOrders []int) {
 	for id := range touched {
 		ids = append(ids, id)
 	}
-	sort.Ints(ids)
+	slices.Sort(ids)
 	for _, id := range ids {
 		p.refreshBest(id, now)
 	}
-	sort.Ints(expiredOrders)
+	slices.Sort(expiredOrders)
 	return expiredOrders
 }
 
@@ -293,30 +338,51 @@ func (p *Pool) BestGroup(id int) (*order.Group, float64, bool) {
 }
 
 // candidates returns the IDs of pooled orders within the spatial prefilter
-// radius of n's pickup cell, ascending.
+// radius of n's pickup cell, ascending. The returned slice is pool scratch,
+// valid until the next candidates call.
 func (p *Pool) candidates(n *node) []int {
-	var out []int
+	out := p.candBuf[:0]
 	if p.opt.CandidateRadius < 0 {
 		for id := range p.nodes {
 			if id != n.o.ID {
 				out = append(out, id)
 			}
 		}
-		sort.Ints(out)
-		return out
-	}
-	for d := 0; d <= p.opt.CandidateRadius; d++ {
-		p.ix.Ring(n.cell, d, func(cell int) bool {
-			for _, id := range p.cells[cell] {
-				if id != n.o.ID {
-					out = append(out, id)
+	} else {
+		for d := 0; d <= p.opt.CandidateRadius; d++ {
+			p.ix.Ring(n.cell, d, func(cell int) bool {
+				for _, id := range p.cells[cell] {
+					if id != n.o.ID {
+						out = append(out, id)
+					}
 				}
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
+	p.candBuf = out
 	return out
+}
+
+// canonical copies the given members into the pool's canonical-view scratch
+// and sorts them by ID. Every plan the pool requests — pairwise tests,
+// clique candidates, materialized winners — goes through this view, so one
+// member set always maps to one member indexing: the DP's (deterministic)
+// tie-breaks, the cache key and the extra-time accumulation order all
+// agree, whichever node's refresh reached the set first. Valid until the
+// next canonical call.
+func (p *Pool) canonical(members ...*order.Order) []*order.Order {
+	buf := p.canonBuf[:0]
+	buf = append(buf, members...)
+	// Insertion sort: k <= MaxGroupSize, no allocation.
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j].ID < buf[j-1].ID; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	p.canonBuf = buf
+	return buf
 }
 
 // refreshBest recomputes the order's best shared group: the minimum
@@ -325,6 +391,11 @@ func (p *Pool) candidates(n *node) []int {
 // deliberately excluded: a fresh order's lone "group" has near-zero extra
 // time by construction and would always win, collapsing every strategy
 // into immediate solo dispatch.
+//
+// Candidates are compared cost-only (through the plan cache); group
+// materialization is deferred until the enumeration settles, so only
+// cliques that actually win — for the refreshed order or for a member
+// picked up by the improvement rule below — ever build a RoutePlan.
 func (p *Pool) refreshBest(id int, now float64) {
 	n, ok := p.nodes[id]
 	if !ok {
@@ -333,63 +404,69 @@ func (p *Pool) refreshBest(id int, now float64) {
 	n.best = nil
 	n.bestExpiry = math.Inf(-1)
 	bestAvg := math.Inf(1)
+	var bestEnt *planEntry
+	clear(p.improve)
 
 	consider := func(members []*order.Order) {
-		plan, ok := p.planner.PlanGroup(members, now, p.opt.Capacity)
-		if !ok {
+		ent := p.planEntryFor(p.canonical(members...), now)
+		if !ent.feasible || ent.expiry < now {
 			return
 		}
-		expiry := groupExpiry(members, plan)
-		if expiry < now {
-			return
-		}
-		g := &order.Group{Orders: append([]*order.Order(nil), members...), Plan: plan}
-		avg := g.AvgExtraTime(now, p.planner.Alpha, p.planner.Beta)
+		avg := avgExtra(ent.members, ent.svc, now, p.planner.Alpha, p.planner.Beta)
 		if avg < bestAvg-1e-9 {
 			bestAvg = avg
-			n.best = g
-			n.bestExpiry = expiry
+			bestEnt = ent
 		}
 		// Improvement-only update for the other members: their stored
 		// best was exact before this enumeration and new groups can only
 		// lower the minimum, so comparing against the stored value keeps
 		// them exact without re-enumerating their own neighborhoods.
-		for _, m := range members {
+		for _, m := range ent.members {
 			if m.ID == n.o.ID {
 				continue
 			}
-			mn := p.nodes[m.ID]
-			if mn == nil {
-				continue
+			st, seen := p.improve[m.ID]
+			if !seen {
+				st.avg = math.Inf(1)
+				if mn := p.nodes[m.ID]; mn != nil && mn.best != nil {
+					st.avg = mn.best.AvgExtraTime(now, p.planner.Alpha, p.planner.Beta)
+				}
 			}
-			cur := math.Inf(1)
-			if mn.best != nil {
-				cur = mn.best.AvgExtraTime(now, p.planner.Alpha, p.planner.Beta)
-			}
-			if avg < cur-1e-9 {
-				mn.best = g
-				mn.bestExpiry = expiry
+			if avg < st.avg-1e-9 {
+				st.avg = avg
+				st.ent = ent
+				p.improve[m.ID] = st
+			} else if !seen {
+				p.improve[m.ID] = st
 			}
 		}
 	}
 
 	p.enumerateCliques(n, now, consider)
-}
 
-// groupExpiry computes τg (Eq. 3): the latest dispatch timestamp at which
-// every member still meets its deadline, i.e. min_i (τ(i) - T(L(i))).
-func groupExpiry(members []*order.Order, plan *order.RoutePlan) float64 {
-	exp := math.Inf(1)
-	for _, o := range members {
-		st, ok := plan.ServiceTime(o.ID)
-		if !ok {
-			return math.Inf(-1)
-		}
-		if e := o.Deadline - st; e < exp {
-			exp = e
+	if bestEnt != nil {
+		if g := p.groupFor(bestEnt, now); g != nil {
+			n.best = g
+			n.bestExpiry = bestEnt.expiry
 		}
 	}
-	return exp
+	// Deferred member updates: each improved member materializes (or
+	// shares) its winning clique's group exactly once. Map iteration order
+	// is irrelevant — entries are per-member and group materialization is
+	// a pure function of the entry.
+	for mid, st := range p.improve {
+		if st.ent == nil {
+			continue
+		}
+		mn := p.nodes[mid]
+		if mn == nil {
+			continue
+		}
+		if g := p.groupFor(st.ent, now); g != nil {
+			mn.best = g
+			mn.bestExpiry = st.ent.expiry
+		}
+	}
 }
 
 func groupContains(g *order.Group, id int) bool {
@@ -400,12 +477,3 @@ func groupContains(g *order.Group, id int) bool {
 	}
 	return false
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-var _ = geo.InvalidNode // geo is part of the package's public vocabulary

@@ -1,0 +1,129 @@
+package route
+
+import (
+	"watter/internal/geo"
+	"watter/internal/order"
+	"watter/internal/roadnet"
+)
+
+// legBlock is the 4x4 travel-cost matrix over one order pair's four route
+// events, row-major over [pickup_lo, dropoff_lo, pickup_hi, dropoff_hi]
+// where lo is the member with the smaller order ID.
+type legBlock [16]float64
+
+type pairKey struct{ lo, hi int }
+
+// LegStore memoizes per-pair leg blocks for the shareability graph's route
+// planning. Every clique the pool plans is a set of orders whose pairs were
+// each already cost-tested once (the pairwise shareability check), so a
+// k-group's (2k)x(2k) leg matrix decomposes entirely into k*(k-1)/2 pair
+// blocks — assembling it from the store replaces a batched network search
+// per considered clique with plain copies. Entries are the pure,
+// deterministic cost(l1, l2) values the network would return fresh, so
+// store-assembled plans are bit-identical to store-free ones.
+//
+// A LegStore belongs to exactly one pool and is not safe for concurrent
+// use; lifetime and eviction follow the pool's node set.
+type LegStore struct {
+	net     roadnet.Network
+	blocks  map[pairKey]*legBlock
+	byOrder map[int][]pairKey
+	hits    uint64
+	fills   uint64
+}
+
+// NewLegStore returns an empty store over the network.
+func NewLegStore(net roadnet.Network) *LegStore {
+	return &LegStore{
+		net:     net,
+		blocks:  make(map[pairKey]*legBlock),
+		byOrder: make(map[int][]pairKey),
+	}
+}
+
+// block returns the pair's leg block (filling it with one batched network
+// query on first use) and whether the pair was given in (hi, lo) order —
+// the caller needs that to map member indices onto block rows.
+func (s *LegStore) block(a, b *order.Order) (blk *legBlock, swapped bool) {
+	lo, hi := a, b
+	if lo.ID > hi.ID {
+		lo, hi = hi, lo
+		swapped = true
+	}
+	key := pairKey{lo.ID, hi.ID}
+	if blk, ok := s.blocks[key]; ok {
+		s.hits++
+		return blk, swapped
+	}
+	blk = new(legBlock)
+	locs := [4]geo.NodeID{lo.Pickup, lo.Dropoff, hi.Pickup, hi.Dropoff}
+	roadnet.FillCostMatrix(s.net, locs[:], locs[:], blk[:])
+	s.blocks[key] = blk
+	s.byOrder[lo.ID] = append(s.byOrder[lo.ID], key)
+	s.byOrder[hi.ID] = append(s.byOrder[hi.ID], key)
+	s.fills++
+	return blk, swapped
+}
+
+// DropPair removes one pair's cached block. The pool uses it when a
+// pairwise shareability test fails: with no edge the pair can never appear
+// in a clique, so its block is dead weight. The byOrder index keeps a stale
+// key; Evict skips it harmlessly.
+func (s *LegStore) DropPair(aID, bID int) {
+	if aID > bID {
+		aID, bID = bID, aID
+	}
+	delete(s.blocks, pairKey{aID, bID})
+}
+
+// Evict drops every block involving the order (called when it leaves the
+// pool). Keys for already-deleted blocks (the partner was evicted first)
+// are skipped harmlessly.
+func (s *LegStore) Evict(orderID int) {
+	for _, key := range s.byOrder[orderID] {
+		delete(s.blocks, key)
+	}
+	delete(s.byOrder, orderID)
+}
+
+// Len reports the number of cached pair blocks.
+func (s *LegStore) Len() int { return len(s.blocks) }
+
+// BlocksFor reports how many live blocks involve the order.
+func (s *LegStore) BlocksFor(orderID int) int {
+	n := 0
+	for _, key := range s.byOrder[orderID] {
+		if _, ok := s.blocks[key]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports block reuses and batched fills since construction.
+func (s *LegStore) Stats() (hits, fills uint64) { return s.hits, s.fills }
+
+// assembleLegs fills the (ne x ne) leg matrix for the group from the
+// store's pair blocks. Each member pair contributes its cross entries; the
+// within-member entries (pickup<->dropoff) ride along from whichever blocks
+// contain the member — every block holding an order carries the same pure
+// cost values, so repeated writes are idempotent.
+func assembleLegs(store *LegStore, orders []*order.Order, ne int, legs []float64) {
+	for i := 0; i < len(orders); i++ {
+		for j := i + 1; j < len(orders); j++ {
+			blk, swapped := store.block(orders[i], orders[j])
+			ri, rj := 0, 2
+			if swapped {
+				ri, rj = 2, 0
+			}
+			for a := 0; a < 2; a++ {
+				for b := 0; b < 2; b++ {
+					legs[(2*i+a)*ne+(2*j+b)] = blk[(ri+a)*4+(rj+b)]
+					legs[(2*j+b)*ne+(2*i+a)] = blk[(rj+b)*4+(ri+a)]
+					legs[(2*i+a)*ne+(2*i+b)] = blk[(ri+a)*4+(ri+b)]
+					legs[(2*j+a)*ne+(2*j+b)] = blk[(rj+a)*4+(rj+b)]
+				}
+			}
+		}
+	}
+}

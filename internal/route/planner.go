@@ -7,6 +7,15 @@
 // before its dropoff (sequential constraint), drops every order off before
 // its deadline (deadline constraint) and never carries more riders than the
 // vehicle capacity (capacity constraint).
+//
+// Two entry points share one DP core. PlanGroup/PlanGroupFrom materialize a
+// RoutePlan; PlanGroupCost is the shareability graph's hot path — it runs
+// the identical DP but returns only the route cost, the group expiry τg and
+// the per-member service times, allocating nothing. Both accept an optional
+// LegStore so the leg matrix can be assembled from cached per-pair cost
+// blocks instead of fresh network queries; every assembled entry is the same
+// pure cost(l1, l2) value a fresh query would return, so the two paths are
+// bit-identical by construction.
 package route
 
 import (
@@ -45,41 +54,107 @@ func NewPlanner(net roadnet.Network) *Planner {
 // The search is exact: dynamic programming over (visited-event-set, last
 // event) states, O(4^k * k) for k orders, trivial for k <= MaxGroupSize.
 func (p *Planner) PlanGroup(orders []*order.Order, now float64, capacity int) (*order.RoutePlan, bool) {
-	return p.PlanGroupFrom(orders, now, capacity, geo.InvalidNode)
+	return p.planGroupFrom(orders, now, capacity, geo.InvalidNode, nil)
 }
 
 // PlanGroupFrom is PlanGroup with an explicit start location: arrivals then
 // include the travel from start to the first pickup. Pass geo.InvalidNode
 // for a free start (route begins at whichever first pickup is cheapest).
 func (p *Planner) PlanGroupFrom(orders []*order.Order, now float64, capacity int, start geo.NodeID) (*order.RoutePlan, bool) {
+	return p.planGroupFrom(orders, now, capacity, start, nil)
+}
+
+// PlanGroupShared is PlanGroup with the leg matrix assembled from the
+// store's cached per-pair blocks (falling back to fresh network queries
+// when legs is nil or the group is a singleton). The result is bit-identical
+// to PlanGroup: cached blocks hold the same pure cost values.
+func (p *Planner) PlanGroupShared(orders []*order.Order, now float64, capacity int, legs *LegStore) (*order.RoutePlan, bool) {
+	return p.planGroupFrom(orders, now, capacity, geo.InvalidNode, legs)
+}
+
+func (p *Planner) planGroupFrom(orders []*order.Order, now float64, capacity int, start geo.NodeID, store *LegStore) (*order.RoutePlan, bool) {
+	sc := scratchPool.Get().(*planScratch)
+	defer scratchPool.Put(sc)
+	best := p.planDP(orders, now, capacity, start, store, sc)
+	if best < 0 {
+		return nil, false
+	}
+	return materializePlan(orders, best, sc), true
+}
+
+// PlanGroupCost is the cost-only fast path of PlanGroup: it runs the exact
+// same DP over the exact same leg costs but materializes nothing — no
+// RoutePlan, no stops, no arrival slice. It returns the minimal route cost
+// T(L), the group expiry τg (Eq. 3: min_i τ(i) - T(L(i))) and, through svc
+// (caller-provided, len >= len(orders)), each member's service time T(L(i))
+// in member order. ok is false when no feasible route exists — and, because
+// raising now only shrinks the feasible route set, stays false for every
+// later now (the monotone-infeasibility property the pool's negative cache
+// relies on).
+func (p *Planner) PlanGroupCost(orders []*order.Order, now float64, capacity int, legs *LegStore, svc []float64) (cost, expiry float64, ok bool) {
+	sc := scratchPool.Get().(*planScratch)
+	defer scratchPool.Put(sc)
+	best := p.planDP(orders, now, capacity, geo.InvalidNode, legs, sc)
+	if best < 0 {
+		return 0, 0, false
+	}
+	ne := 2 * len(orders)
+	cost = sc.dpBuf[best]
+	// Walk the parent chain recording each dropoff's arrival offset; the
+	// values are the same dp entries a materialized plan would expose via
+	// ServiceTime, so expiry is bit-identical to groupExpiry over a plan.
+	for idx := best; idx >= 0; idx = int(sc.parentBuf[idx]) {
+		if ev := idx % ne; ev%2 == 1 {
+			svc[ev/2] = sc.dpBuf[idx]
+		}
+	}
+	expiry = math.Inf(1)
+	for i, o := range orders {
+		if e := o.Deadline - svc[i]; e < expiry {
+			expiry = e
+		}
+	}
+	return cost, expiry, true
+}
+
+// planDP runs the feasibility DP and returns the index of the cheapest
+// complete final state into sc's dp/parent tables, or -1 when the group is
+// infeasible. The leg matrix comes from the store's cached pair blocks when
+// store is non-nil and the group has pairs to share, from batched network
+// queries otherwise; either way every entry is cost(loc[a], loc[b]).
+func (p *Planner) planDP(orders []*order.Order, now float64, capacity int, start geo.NodeID, store *LegStore, sc *planScratch) int {
 	k := len(orders)
 	if k == 0 || k > MaxGroupSize {
-		return nil, false
+		return -1
 	}
 	// A group whose combined riders exceed capacity can still be feasible
 	// when riders never overlap; overlap is checked per transition below.
 	// Only an individual order that exceeds capacity is hopeless.
 	for _, o := range orders {
 		if o.Riders > capacity {
-			return nil, false
+			return -1
 		}
 	}
 
 	ne := 2 * k // events: 2i = pickup of orders[i], 2i+1 = dropoff
 	full := (1 << ne) - 1
-	sc := scratchPool.Get().(*planScratch)
-	defer scratchPool.Put(sc)
-	loc := sc.loc(ne)
-	for i, o := range orders {
-		loc[2*i] = o.Pickup
-		loc[2*i+1] = o.Dropoff
-	}
 	// legs[a*ne+b] caches cost(loc[a], loc[b]); the DP touches each pair
 	// thousands of times. One batched many-to-many call fills the whole
 	// table: a Graph-backed network answers it with one pruned ALT search
-	// per distinct event node instead of ne full-city Dijkstras.
+	// per distinct event node instead of ne full-city Dijkstras. A LegStore
+	// skips even that, copying the entries out of per-pair blocks cached
+	// when the pair's shareability edge was first tested.
 	legs := sc.legs(ne)
-	roadnet.FillCostMatrix(p.Net, loc, loc, legs)
+	if store != nil && k >= 2 {
+		assembleLegs(store, orders, ne, legs)
+	} else {
+		loc := sc.loc(ne)
+		for i, o := range orders {
+			loc[2*i] = o.Pickup
+			loc[2*i+1] = o.Dropoff
+		}
+		roadnet.FillCostMatrix(p.Net, loc, loc, legs)
+	}
 	// Approach legs from the explicit start to each pickup, batched the
 	// same way (one search for all k pickups).
 	var t0s []float64
@@ -154,17 +229,18 @@ func (p *Planner) PlanGroupFrom(orders []*order.Order, now float64, capacity int
 			best = full*ne + last
 		}
 	}
-	if best < 0 {
-		return nil, false
-	}
+	return best
+}
 
-	// Reconstruct the event sequence (fresh slices: they escape into the
-	// returned plan).
+// materializePlan reconstructs the RoutePlan ending at state best from sc's
+// dp/parent tables (fresh slices: they escape into the returned plan).
+func materializePlan(orders []*order.Order, best int, sc *planScratch) *order.RoutePlan {
+	ne := 2 * len(orders)
 	events := make([]int, 0, ne)
 	arrive := make([]float64, 0, ne)
-	for idx := best; idx >= 0; idx = int(parent[idx]) {
+	for idx := best; idx >= 0; idx = int(sc.parentBuf[idx]) {
 		events = append(events, idx%ne)
-		arrive = append(arrive, dp[idx])
+		arrive = append(arrive, sc.dpBuf[idx])
 	}
 	reverseInts(events)
 	reverseFloats(arrive)
@@ -172,7 +248,7 @@ func (p *Planner) PlanGroupFrom(orders []*order.Order, now float64, capacity int
 	plan := &order.RoutePlan{
 		Stops:  make([]order.Stop, ne),
 		Arrive: arrive,
-		Cost:   bestT,
+		Cost:   sc.dpBuf[best],
 	}
 	for i, ev := range events {
 		o := orders[ev/2]
@@ -184,7 +260,7 @@ func (p *Planner) PlanGroupFrom(orders []*order.Order, now float64, capacity int
 		}
 		plan.Stops[i] = order.Stop{Node: node, Kind: kind, OrderID: o.ID, Riders: o.Riders}
 	}
-	return plan, true
+	return plan
 }
 
 // Shareable reports whether two orders can be served together by a vehicle

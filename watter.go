@@ -95,8 +95,12 @@ type (
 	RoadGraph = roadnet.Graph
 	// RoadGraphBuilder accumulates nodes and edges into a RoadGraph.
 	RoadGraphBuilder = roadnet.GraphBuilder
-	// PoolOptions tunes the temporal shareability graph.
+	// PoolOptions tunes the temporal shareability graph (including
+	// DisablePlanCache, the clique plan cache kill switch).
 	PoolOptions = pool.Options
+	// PoolCacheStats counts the shareability graph's plan-cache traffic
+	// (hits, negative hits, plans avoided/materialized).
+	PoolCacheStats = pool.CacheStats
 	// ExperimentParams is one experiment configuration point.
 	ExperimentParams = exp.Params
 	// ExperimentResult is one (algorithm, configuration) measurement.
