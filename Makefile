@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench lint fmt ci benchsweep benchroute benchstream benchpool clean
+.PHONY: build examples test race bench lint staticcheck fmt ci benchsweep benchroute benchstream benchpool benchshard benchgate clean
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,9 @@ examples:
 test:
 	$(GO) test ./...
 
+# Shuffled so test-order coupling fails here before it fails in CI.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Smoke-run every benchmark once (no timing stability, just "they run").
 bench:
@@ -28,10 +29,18 @@ lint:
 	fi
 	$(GO) vet ./...
 
+# CI installs staticcheck itself; locally it runs when on PATH.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
 fmt:
 	gofmt -w .
 
-ci: lint build examples test race bench
+ci: lint staticcheck build examples test race bench
 
 # Regenerate the sequential-vs-parallel engine baseline.
 benchsweep:
@@ -49,6 +58,20 @@ benchstream:
 benchpool:
 	$(GO) run ./cmd/watterbench -benchpool BENCH_pool.json
 
+# Regenerate the slot-sharded dispatch engine baseline.
+benchshard:
+	$(GO) run ./cmd/watterbench -benchshard BENCH_shard.json
+
+# Gate freshly produced /tmp reports against the committed baselines —
+# exactly the final CI step (run the bench steps first to produce them).
+benchgate:
+	$(GO) run ./cmd/benchgate \
+		BENCH_sweep.json=/tmp/bench_sweep_ci.json \
+		BENCH_routing.json=/tmp/bench_route_ci.json \
+		BENCH_stream.json=/tmp/bench_stream_ci.json \
+		BENCH_pool.json=/tmp/bench_pool_ci.json \
+		BENCH_shard.json=/tmp/bench_shard_ci.json
+
 clean:
 	$(GO) clean
-	rm -f watterbench wattersim wattertrain
+	rm -f watterbench wattersim wattertrain benchgate

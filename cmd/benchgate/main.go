@@ -1,0 +1,175 @@
+// Command benchgate is the CI bench-regression gate: it compares freshly
+// produced benchmark reports against the committed BENCH_*.json baselines
+// and fails when the perf trajectory regresses. Until now CI *wrote* the
+// bench JSONs but never *checked* them — a routing or caching regression
+// would merge silently; benchgate turns the smoke runs into an enforced
+// contract.
+//
+// Usage:
+//
+//	benchgate [-frac 0.6] [-growth 1.5] BASELINE=FRESH [BASELINE=FRESH ...]
+//
+// For every baseline/fresh report pair, three families of keys are gated:
+//
+//   - correctness flags — every baseline key matching *identical* that is
+//     true (metrics_bit_identical, distances_bit_identical,
+//     pool_decisions_identical, ...) must be true in the fresh report.
+//     These are hard guarantees: any false is a bug, not noise.
+//   - speedups — every numeric key containing "speedup" must be at least
+//     -frac of the baseline value (default 0.6x: generous enough for
+//     shared CI runners, tight enough to catch a lost optimization).
+//   - overheads — lower-is-better "overhead_factor" keys may grow to at
+//     most -growth times the baseline (default 1.5x).
+//
+// Exit status is non-zero when any gate fails or a report is missing, so
+// the CI job fails loudly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type gateResult struct {
+	pair string
+	key  string
+	ok   bool
+	note string
+}
+
+func main() {
+	frac := flag.Float64("frac", 0.6, "minimum fresh/baseline speedup fraction")
+	growth := flag.Float64("growth", 1.5, "maximum fresh/baseline growth for lower-is-better factors")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no BASELINE=FRESH pairs given")
+		os.Exit(2)
+	}
+	if *frac <= 0 || *growth < 1 {
+		fmt.Fprintf(os.Stderr, "benchgate: -frac must be positive and -growth at least 1 (got %v, %v)\n", *frac, *growth)
+		os.Exit(2)
+	}
+
+	var results []gateResult
+	failed := false
+	for _, pair := range flag.Args() {
+		basePath, freshPath, ok := strings.Cut(pair, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: malformed pair %q (want BASELINE=FRESH)\n", pair)
+			os.Exit(2)
+		}
+		rs, err := gatePair(basePath, freshPath, *frac, *growth)
+		if err != nil {
+			results = append(results, gateResult{pair: pair, key: "-", ok: false, note: err.Error()})
+			failed = true
+			continue
+		}
+		for _, r := range rs {
+			if !r.ok {
+				failed = true
+			}
+			results = append(results, r)
+		}
+	}
+
+	for _, r := range results {
+		status := "ok  "
+		if !r.ok {
+			status = "FAIL"
+		}
+		fmt.Printf("%s  %-46s %-28s %s\n", status, r.pair, r.key, r.note)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: benchmark baselines regressed")
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d checks passed across %d report pairs\n", len(results), flag.NArg())
+}
+
+// gatePair loads one baseline/fresh report pair and evaluates every gated
+// key of the baseline against the fresh values.
+func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, error) {
+	base, err := loadReport(basePath)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %v", err)
+	}
+	fresh, err := loadReport(freshPath)
+	if err != nil {
+		return nil, fmt.Errorf("fresh: %v", err)
+	}
+	pair := fmt.Sprintf("%s=%s", basePath, freshPath)
+	// Speedups are workload-dependent: comparing reports produced at
+	// different -scale values would gate noise, so a mismatch is itself a
+	// failure (regenerate one side at the other's scale).
+	if bs, ok := base["scale"].(float64); ok {
+		if fs, ok := fresh["scale"].(float64); ok && fs != bs {
+			return nil, fmt.Errorf("scale mismatch: baseline %v vs fresh %v", bs, fs)
+		}
+	}
+	var rs []gateResult
+	gated := 0
+	for key, bv := range base {
+		switch {
+		case strings.Contains(key, "identical"):
+			bb, ok := bv.(bool)
+			if !ok || !bb {
+				continue // a baseline that never held the guarantee can't gate it
+			}
+			gated++
+			fb, ok := fresh[key].(bool)
+			rs = append(rs, gateResult{
+				pair: pair, key: key, ok: ok && fb,
+				note: fmt.Sprintf("baseline=true fresh=%v", fresh[key]),
+			})
+		case strings.Contains(key, "speedup"):
+			bf, ok := bv.(float64)
+			if !ok || bf <= 0 {
+				continue
+			}
+			gated++
+			ff, ok := fresh[key].(float64)
+			floor := frac * bf
+			rs = append(rs, gateResult{
+				pair: pair, key: key, ok: ok && ff >= floor,
+				note: fmt.Sprintf("fresh=%.3f floor=%.3f (baseline=%.3f x frac=%.2f)", ff, floor, bf, frac),
+			})
+		case strings.Contains(key, "overhead_factor"):
+			bf, ok := bv.(float64)
+			if !ok || bf <= 0 {
+				continue
+			}
+			gated++
+			ff, ok := fresh[key].(float64)
+			ceil := growth * bf
+			rs = append(rs, gateResult{
+				pair: pair, key: key, ok: ok && ff <= ceil,
+				note: fmt.Sprintf("fresh=%.3f ceiling=%.3f (baseline=%.3f x growth=%.2f)", ff, ceil, bf, growth),
+			})
+		}
+	}
+	if gated == 0 {
+		return nil, fmt.Errorf("baseline %s exposes no gated keys (identical/speedup/overhead_factor)", basePath)
+	}
+	// Stable output: sort by key.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].key < rs[j-1].key; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	return rs, nil
+}
+
+func loadReport(path string) (map[string]any, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return m, nil
+}

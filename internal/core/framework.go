@@ -12,6 +12,7 @@ import (
 	"watter/internal/geo"
 	"watter/internal/order"
 	"watter/internal/pool"
+	"watter/internal/shard"
 	"watter/internal/sim"
 	"watter/internal/strategy"
 )
@@ -28,9 +29,16 @@ type Framework struct {
 	// the strategy — the paper's "orders will only be rejected when they
 	// cannot be served in the extreme cases".
 	Tick float64
+	// Shards is the slot-shard count of the dispatch engine (see
+	// internal/shard). 1 — the default — runs the classic sequential
+	// check; K > 1 fans the expensive read-only tick work (worker-probe
+	// ring searches, singleton plans, pairwise prewarm) over K goroutines
+	// while keeping every decision bit-identical to the sequential run.
+	Shards int
 
-	env  *sim.Env
-	pool *pool.Pool
+	env    *sim.Env
+	pool   *pool.Pool
+	engine *shard.Engine
 
 	// pendingNoWorker tracks group keys that were approved for dispatch
 	// but had no idle worker; they retry at the next check automatically
@@ -41,7 +49,7 @@ type Framework struct {
 // New builds a framework with the given decision strategy and pool options
 // and the paper's default Δt = 10 s.
 func New(decide strategy.Decision, opt pool.Options) *Framework {
-	return &Framework{Decide: decide, PoolOpt: opt, Tick: 10}
+	return &Framework{Decide: decide, PoolOpt: opt, Tick: 10, Shards: 1}
 }
 
 // Name implements sim.Algorithm.
@@ -49,6 +57,10 @@ func (f *Framework) Name() string { return f.Decide.Name() }
 
 // Pool exposes the shareability graph (read-only use: MDP featurization).
 func (f *Framework) Pool() *pool.Pool { return f.pool }
+
+// ShardEngine exposes the slot-sharded dispatch engine, nil when Shards
+// <= 1 or before Init (benchmarks read its speculation stats).
+func (f *Framework) ShardEngine() *shard.Engine { return f.engine }
 
 // SetTick aligns the framework's last-call horizon with the platform's
 // periodic-check interval. Must be called before Init; the platform
@@ -58,6 +70,17 @@ func (f *Framework) SetTick(dt float64) { f.Tick = dt }
 // SetPoolOptions replaces the shareability-graph tuning before a run.
 // Must be called before Init; the platform's WithPool option uses it.
 func (f *Framework) SetPoolOptions(opt pool.Options) { f.PoolOpt = opt }
+
+// SetShards sets the dispatch engine's shard count before a run (values
+// below 1 mean 1: the sequential check). Must be called before Init; the
+// platform's WithShards option uses it. Results are bit-identical at any
+// shard count — sharding buys cores, never different dispatches.
+func (f *Framework) SetShards(k int) {
+	if k < 1 {
+		k = 1
+	}
+	f.Shards = k
+}
 
 // SetCandidateRadius overrides the pool's spatial prefilter before a run
 // (used by the candidate-radius ablation bench). Must be called before
@@ -77,14 +100,35 @@ func (f *Framework) Init(env *sim.Env) {
 	}
 	f.pool = pool.New(env.Planner, env.Index, opt)
 	f.dispatched = 0
+	f.engine = nil
+	if f.Shards > 1 {
+		radius := opt.CandidateRadius
+		if radius < 0 {
+			radius = env.Index.N() // prefilter disabled: everything borders
+		}
+		eng, err := shard.NewEngine(f.Shards, env.Index, env.WIndex, env.Planner, env.Cfg.Capacity, radius)
+		if err != nil {
+			// Inputs are validated by SetShards and the table clamps k;
+			// reaching here is a programming error.
+			panic(err)
+		}
+		f.engine = eng
+	}
 }
 
 // OnOrder implements sim.Algorithm: lines 2-4 of Algorithm 1. An order that
-// cannot be served even alone is rejected immediately.
+// cannot be served even alone is rejected immediately. With the sharded
+// engine on, the pairwise shareability plans the insert needs are computed
+// across the shards first — pure work whose merged results leave the
+// pool's decisions untouched.
 func (f *Framework) OnOrder(o *order.Order, now float64) {
 	if o.Expired(now) || o.MaxResponse() < 0 {
 		f.env.Reject(o, now)
 		return
+	}
+	if f.engine != nil {
+		f.pool.PrewarmPairs(o, now, f.engine)
+		defer f.pool.FlushPrewarmedNegatives()
 	}
 	f.pool.Insert(o, now)
 }
@@ -129,6 +173,14 @@ func (f *Framework) Finish(now float64) {
 // infeasible by the time a worker reaches it. The framework therefore
 // shrinks the horizon it hands to the strategy (and its own last-call
 // checks) by the current nearest idle worker's travel time.
+//
+// With the sharded engine on, every probe below is answered from the
+// engine's speculation phase when still valid — the engine ran the
+// identical searches in parallel against the tick-start state, and a
+// speculation stays valid exactly while no dispatch this pass touched a
+// cell the search visited. Invalidated or missing speculations fall back
+// to the fresh probes of the sequential path, so the commit order and the
+// resulting metrics are bit-identical at any shard count.
 func (f *Framework) checkOrders(now float64, force bool) {
 	// One fleet scan gates all horizon probes: with no idle worker the
 	// probe would return 0 anyway, and per-order ring searches in a
@@ -140,7 +192,11 @@ func (f *Framework) checkOrders(now float64, force bool) {
 			break
 		}
 	}
-	for _, id := range f.pool.OrderIDs() {
+	ids := f.pool.OrderIDs()
+	if f.engine != nil {
+		f.engine.BeginTick(f.pool, ids, now, anyIdle)
+	}
+	for _, id := range ids {
 		if !f.pool.Contains(id) {
 			continue // removed earlier this pass as part of a group
 		}
@@ -153,8 +209,14 @@ func (f *Framework) checkOrders(now float64, force bool) {
 		var gw *order.Worker
 		var gApproach float64
 		if ok && anyIdle {
-			gw, gApproach = f.env.WIndex.ClosestIdleWithin(
-				g.Plan.Stops[0].Node, now, g.Riders(), expiry-now)
+			hit := false
+			if f.engine != nil {
+				gw, gApproach, hit = f.engine.GroupProbe(id, g, expiry)
+			}
+			if !hit {
+				gw, gApproach = f.env.WIndex.ClosestIdleWithin(
+					g.Plan.Stops[0].Node, now, g.Riders(), expiry-now)
+			}
 			if gw != nil {
 				expiry -= gApproach
 			}
@@ -178,7 +240,7 @@ func (f *Framework) checkOrders(now float64, force bool) {
 		// (approach >= 0 can only strengthen it) or nobody is idle.
 		soloApproach := 0.0
 		if anyIdle && now+f.Tick+o.DirectCost <= o.Deadline {
-			soloApproach = f.approachFor(o.Pickup, now, o.Riders, o.Deadline-now-o.DirectCost)
+			soloApproach = f.approachFor(id, o.Pickup, now, o.Riders, o.Deadline-now-o.DirectCost)
 		}
 		soloLastCall := now+f.Tick+soloApproach+o.DirectCost > o.Deadline
 		if ok && !force && !soloLastCall {
@@ -197,8 +259,15 @@ func (f *Framework) checkOrders(now float64, force bool) {
 // with nobody to dispatch to, the hold decision falls back to the
 // plan-only horizon instead of panicking every order into an early solo
 // attempt (a closer worker may free up before the horizon dies).
-func (f *Framework) approachFor(node geo.NodeID, now float64, riders int, budget float64) float64 {
-	_, a := f.env.WIndex.ClosestIdleWithin(node, now, riders, budget)
+func (f *Framework) approachFor(id int, node geo.NodeID, now float64, riders int, budget float64) float64 {
+	var a float64
+	hit := false
+	if f.engine != nil {
+		_, a, hit = f.engine.SoloProbe(id, budget)
+	}
+	if !hit {
+		_, a = f.env.WIndex.ClosestIdleWithin(node, now, riders, budget)
+	}
 	if math.IsInf(a, 1) {
 		return 0
 	}
@@ -209,14 +278,21 @@ func (f *Framework) approachFor(node geo.NodeID, now float64, riders int, budget
 // worker is idle; rejected when the route is infeasible or (at timeout /
 // drain) nobody can take it.
 func (f *Framework) serveSoloOrReject(o *order.Order, now float64, force bool) {
-	plan, feasible := f.env.Planner.PlanGroup([]*order.Order{o}, now, f.env.Cfg.Capacity)
+	var plan *order.RoutePlan
+	var feasible, hit bool
+	if f.engine != nil {
+		plan, feasible, hit = f.engine.SoloPlan(o.ID)
+	}
+	if !hit {
+		plan, feasible = f.env.Planner.PlanGroup([]*order.Order{o}, now, f.env.Cfg.Capacity)
+	}
 	if !feasible {
 		f.pool.Remove(o.ID, now)
 		f.env.Reject(o, now)
 		return
 	}
 	g := &order.Group{Orders: []*order.Order{o}, Plan: plan}
-	if f.env.DispatchGroup(g, now) {
+	if f.dispatchSolo(g, o, now) {
 		f.pool.Remove(o.ID, now)
 		f.dispatched++
 		return
@@ -227,4 +303,32 @@ func (f *Framework) serveSoloOrReject(o *order.Order, now float64, force bool) {
 	}
 	// Otherwise: no idle worker; keep waiting ("served when there are
 	// suitable workers, otherwise rejected") until the deadline expires.
+}
+
+// dispatchSolo books the singleton group, answering the worker probe from
+// the engine's speculation when it is still valid for the plan's approach
+// slack (the same budget DispatchGroup would compute); otherwise it is
+// the plain DispatchGroup ring search.
+func (f *Framework) dispatchSolo(g *order.Group, o *order.Order, now float64) bool {
+	if f.engine != nil {
+		slack := math.Inf(1)
+		for i, s := range g.Plan.Stops {
+			if s.Kind != order.DropoffStop || s.OrderID != o.ID {
+				continue
+			}
+			if sl := o.Deadline - now - g.Plan.Arrive[i]; sl < slack {
+				slack = sl
+			}
+		}
+		if slack < 0 {
+			return false // the plan itself is already past the deadline
+		}
+		if w, approach, ok := f.engine.SoloProbe(o.ID, slack); ok {
+			if w == nil {
+				return false
+			}
+			return f.env.DispatchGroupTo(w, approach, g, now)
+		}
+	}
+	return f.env.DispatchGroup(g, now)
 }

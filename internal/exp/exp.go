@@ -34,7 +34,12 @@ type Params struct {
 	MaxCap    int     // Kw
 	GridN     int     // spatial index side
 	TickEvery float64 // Δt
-	Seed      int64
+	// Shards is the dispatch engine's slot-shard count (0 and 1 both mean
+	// the sequential check). Sharding parallelizes within one simulation
+	// without changing any decision, so results are bit-identical at any
+	// value; baselines without a shardable check ignore it.
+	Shards int
+	Seed   int64
 	// Train tunes the offline pipeline for WATTER-expect.
 	Train TrainParams
 }
@@ -334,15 +339,18 @@ func (r *Runner) Build(name string, p Params) (sim.Algorithm, error) {
 	case "WATTER-online":
 		fw := core.New(strategy.Online{}, poolOptions(p))
 		fw.Tick = p.TickEvery
+		fw.SetShards(p.Shards)
 		return fw, nil
 	case "WATTER-timeout":
 		fw := core.New(strategy.Timeout{Tick: p.TickEvery}, poolOptions(p))
 		fw.Tick = p.TickEvery
+		fw.SetShards(p.Shards)
 		return fw, nil
 	case "WATTER-expect":
 		trained := r.Train(p)
 		fw := core.New(nil, poolOptions(p))
 		fw.Tick = p.TickEvery
+		fw.SetShards(p.Shards)
 		src := &mdp.ValueThresholdSource{
 			Net:  trained.Net,
 			Feat: trained.Feat,

@@ -1,0 +1,132 @@
+package gridindex
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"watter/internal/geo"
+	"watter/internal/order"
+	"watter/internal/roadnet"
+)
+
+// TestProbeReaderMatchesIndex: a ProbeReader runs the identical budgeted
+// ring search as the index's own ClosestIdleWithin — same worker, same
+// cost, for random fleets, probe points, budgets and capacities — and the
+// scanned-cell record always contains the probe's center cell.
+func TestProbeReaderMatchesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	net := roadnet.NewGridCity(30, 30, 100, 10)
+	ix := New(net, 10)
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(40)
+		workers := make([]*order.Worker, n)
+		for i := range workers {
+			workers[i] = &order.Worker{
+				ID:       i + 1,
+				Loc:      net.Node(rng.Intn(30), rng.Intn(30)),
+				Capacity: 1 + rng.Intn(4),
+				FreeAt:   float64(rng.Intn(3)) * 50,
+			}
+		}
+		wi := NewWorkerIndex(ix, net, workers)
+		r := wi.NewReader()
+		for q := 0; q < 40; q++ {
+			node := net.Node(rng.Intn(30), rng.Intn(30))
+			now := float64(rng.Intn(3)) * 50
+			minCap := 1 + rng.Intn(4)
+			maxCost := math.Inf(1)
+			if rng.Intn(2) == 0 {
+				maxCost = float64(rng.Intn(400))
+			}
+			iw, ic := wi.ClosestIdleWithin(node, now, minCap, maxCost)
+			rw, rc, scan := r.ClosestIdleWithin(node, now, minCap, maxCost)
+			if iw != rw || ic != rc {
+				t.Fatalf("trial %d query %d: index (%v, %v) != reader (%v, %v)", trial, q, iw, ic, rw, rc)
+			}
+			center := int32(ix.CellOf(node))
+			found := false
+			for _, c := range scan {
+				if c == center {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("scan record misses the center cell %d: %v", center, scan)
+			}
+		}
+	}
+}
+
+// TestProbeReadersConcurrent: multiple readers probe the same quiescent
+// index concurrently and all agree with the sequential answer (run under
+// -race in CI).
+func TestProbeReadersConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := roadnet.NewGridCity(25, 25, 100, 10)
+	ix := New(net, 10)
+	workers := make([]*order.Worker, 50)
+	for i := range workers {
+		workers[i] = &order.Worker{
+			ID: i + 1, Loc: net.Node(rng.Intn(25), rng.Intn(25)), Capacity: 4,
+		}
+	}
+	wi := NewWorkerIndex(ix, net, workers)
+	type query struct {
+		node geo.NodeID
+		want *order.Worker
+		cost float64
+	}
+	queries := make([]query, 64)
+	for i := range queries {
+		node := net.Node(rng.Intn(25), rng.Intn(25))
+		w, c := wi.ClosestIdleWithin(node, 0, 1, math.Inf(1))
+		queries[i] = query{node, w, c}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := wi.NewReader()
+			for i := g; i < len(queries); i += 4 {
+				w, c, _ := r.ClosestIdleWithin(queries[i].node, 0, 1, math.Inf(1))
+				if w != queries[i].want || c != queries[i].cost {
+					t.Errorf("query %d: concurrent reader got (%v, %v), want (%v, %v)",
+						i, w, c, queries[i].want, queries[i].cost)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMoveObserverFires: Update reports the old and new cell for moves and
+// the (same) cell for in-place state changes.
+func TestMoveObserverFires(t *testing.T) {
+	net := roadnet.NewGridCity(20, 20, 100, 10)
+	ix := New(net, 10)
+	w := &order.Worker{ID: 1, Loc: net.Node(0, 0), Capacity: 4}
+	wi := NewWorkerIndex(ix, net, []*order.Worker{w})
+	var gotOld, gotNew []int
+	wi.SetMoveObserver(func(_ *order.Worker, oldCell, newCell int) {
+		gotOld = append(gotOld, oldCell)
+		gotNew = append(gotNew, newCell)
+	})
+	home := ix.CellOf(w.Loc)
+	// In-place booking: same cell on both sides.
+	w.FreeAt = 100
+	wi.Update(w)
+	// Relocation to the far corner.
+	w.Loc = net.Node(19, 19)
+	wi.Update(w)
+	far := ix.CellOf(w.Loc)
+	if len(gotOld) != 2 || gotOld[0] != home || gotNew[0] != home || gotOld[1] != home || gotNew[1] != far {
+		t.Fatalf("observer saw old=%v new=%v, want old=[%d %d] new=[%d %d]", gotOld, gotNew, home, home, home, far)
+	}
+	wi.SetMoveObserver(nil)
+	w.Loc = net.Node(0, 0)
+	wi.Update(w) // must not panic with the observer removed
+}

@@ -16,6 +16,13 @@ import (
 // roadnet.FillCostMatrix call, so a Graph-backed network ranks the whole
 // ring with pruned point-to-point searches instead of per-worker full
 // Dijkstras.
+//
+// The index itself is single-goroutine state (each simulation job owns its
+// own index), but reads can be fanned out: NewReader returns a probe handle
+// with private scratch that runs the identical search over the shared cell
+// buckets, so several goroutines may probe concurrently as long as nobody
+// mutates the index (no Update) while they run. The sharded dispatch
+// engine's speculation phase is built on exactly that contract.
 type WorkerIndex struct {
 	ix      *Index
 	net     roadnet.Network
@@ -23,8 +30,19 @@ type WorkerIndex struct {
 	cellOf  map[int]int       // worker id -> cell id
 	workers map[int]*order.Worker
 
-	// Reusable batching scratch; WorkerIndex is single-goroutine state
-	// (each simulation job owns its own index).
+	// Reusable batching scratch for the index's own (single-goroutine)
+	// queries; concurrent readers get their own via NewReader.
+	sc probeScratch
+
+	// moveObs, when set, observes every Update with the worker's previous
+	// and current cell (equal when the worker stayed put). The sharded
+	// dispatch engine uses it to invalidate speculative probes whose
+	// scanned cells a dispatch touched.
+	moveObs func(w *order.Worker, oldCell, newCell int)
+}
+
+// probeScratch is the per-caller buffer set of one ring search.
+type probeScratch struct {
 	candBuf []*order.Worker
 	locBuf  []geo.NodeID
 	costBuf []float64
@@ -52,50 +70,65 @@ func (wi *WorkerIndex) insert(w *order.Worker) {
 	wi.workers[w.ID] = w
 }
 
-// Update must be called after a worker's Loc changes (e.g. after it
-// finishes a route at a new drop-off point).
+// SetMoveObserver installs fn, called after every Update with the worker's
+// previous and current cell (equal when the worker's state changed without
+// leaving its cell — a dispatch that books it in place still fires). Pass
+// nil to remove.
+func (wi *WorkerIndex) SetMoveObserver(fn func(w *order.Worker, oldCell, newCell int)) {
+	wi.moveObs = fn
+}
+
+// Update must be called after a worker's state changes (e.g. after a
+// dispatch books it: FreeAt moves into the future and Loc becomes the
+// route's last drop-off point).
 func (wi *WorkerIndex) Update(w *order.Worker) {
 	old, ok := wi.cellOf[w.ID]
 	if !ok {
 		wi.insert(w)
+		if wi.moveObs != nil {
+			c := wi.cellOf[w.ID]
+			wi.moveObs(w, c, c)
+		}
 		return
 	}
 	nc := wi.ix.CellOf(w.Loc)
-	if nc == old {
-		return
-	}
-	bucket := wi.cells[old]
-	for i, ww := range bucket {
-		if ww.ID == w.ID {
-			bucket[i] = bucket[len(bucket)-1]
-			wi.cells[old] = bucket[:len(bucket)-1]
-			break
+	if nc != old {
+		bucket := wi.cells[old]
+		for i, ww := range bucket {
+			if ww.ID == w.ID {
+				bucket[i] = bucket[len(bucket)-1]
+				wi.cells[old] = bucket[:len(bucket)-1]
+				break
+			}
 		}
+		wi.cells[nc] = append(wi.cells[nc], w)
+		wi.cellOf[w.ID] = nc
 	}
-	wi.cells[nc] = append(wi.cells[nc], w)
-	wi.cellOf[w.ID] = nc
+	if wi.moveObs != nil {
+		wi.moveObs(w, old, nc)
+	}
 }
 
 // ringCosts batches the travel times from every candidate gathered for the
-// current ring to node, reusing the index's scratch buffers. maxCost bounds
+// current ring to node, reusing the caller's scratch buffers. maxCost bounds
 // each underlying search: candidates beyond it may come back +Inf, which
 // every caller filters out anyway. On a Graph network this runs one pruned
 // forward search per distinct candidate location (plus duplicate-location
 // dedup) — a single reverse-graph sweep from node would be cheaper, but
 // reverse-order float folds would break the engine's bit-equivalence
 // contract with Cost, so forward searches are deliberate.
-func (wi *WorkerIndex) ringCosts(node geo.NodeID, maxCost float64) []float64 {
-	wi.locBuf = wi.locBuf[:0]
-	for _, w := range wi.candBuf {
-		wi.locBuf = append(wi.locBuf, w.Loc)
+func (wi *WorkerIndex) ringCosts(sc *probeScratch, node geo.NodeID, maxCost float64) []float64 {
+	sc.locBuf = sc.locBuf[:0]
+	for _, w := range sc.candBuf {
+		sc.locBuf = append(sc.locBuf, w.Loc)
 	}
-	if cap(wi.costBuf) < len(wi.locBuf) {
-		wi.costBuf = make([]float64, len(wi.locBuf))
+	if cap(sc.costBuf) < len(sc.locBuf) {
+		sc.costBuf = make([]float64, len(sc.locBuf))
 	}
-	wi.costBuf = wi.costBuf[:len(wi.locBuf)]
+	sc.costBuf = sc.costBuf[:len(sc.locBuf)]
 	target := [1]geo.NodeID{node}
-	roadnet.FillCostMatrixWithin(wi.net, wi.locBuf, target[:], maxCost, wi.costBuf)
-	return wi.costBuf
+	roadnet.FillCostMatrixWithin(wi.net, sc.locBuf, target[:], maxCost, sc.costBuf)
+	return sc.costBuf
 }
 
 // ClosestIdle returns the idle worker (FreeAt <= now) with at least
@@ -116,6 +149,18 @@ func (wi *WorkerIndex) ClosestIdle(node geo.NodeID, now float64, minCapacity int
 // must not shadow a reachable one. Returns the worker and its travel time,
 // or (nil, +Inf).
 func (wi *WorkerIndex) ClosestIdleWithin(node geo.NodeID, now float64, minCapacity int, maxCost float64) (*order.Worker, float64) {
+	return wi.closestIdleWithin(node, now, minCapacity, maxCost, &wi.sc, nil)
+}
+
+// closestIdleWithin is the one implementation of the budgeted ring search.
+// The index's own queries and every ProbeReader run this exact code over
+// the same cell buckets, so the two paths are bit-identical by
+// construction. When scan is non-nil, every in-range cell the search visits
+// is appended to it — the record a speculative caller needs to later decide
+// whether a dispatch could have changed this search's outcome (a search is
+// only affected by workers entering, leaving or changing state inside a
+// visited cell).
+func (wi *WorkerIndex) closestIdleWithin(node geo.NodeID, now float64, minCapacity int, maxCost float64, sc *probeScratch, scan *[]int32) (*order.Worker, float64) {
 	center := wi.ix.CellOf(node)
 	var best *order.Worker
 	bestCost := math.Inf(1)
@@ -123,20 +168,23 @@ func (wi *WorkerIndex) ClosestIdleWithin(node geo.NodeID, now float64, minCapaci
 	foundAt := -1
 	seen := 0 // workers encountered (any state); == Len() means later rings are empty
 	for d := 0; d <= maxD; d++ {
-		wi.candBuf = wi.candBuf[:0]
+		sc.candBuf = sc.candBuf[:0]
 		wi.ix.Ring(center, d, func(cell int) bool {
+			if scan != nil {
+				*scan = append(*scan, int32(cell))
+			}
 			seen += len(wi.cells[cell])
 			for _, w := range wi.cells[cell] {
 				if !w.IdleAt(now) || w.Capacity < minCapacity {
 					continue
 				}
-				wi.candBuf = append(wi.candBuf, w)
+				sc.candBuf = append(sc.candBuf, w)
 			}
 			return true
 		})
-		if len(wi.candBuf) > 0 {
-			costs := wi.ringCosts(node, maxCost)
-			for i, w := range wi.candBuf {
+		if len(sc.candBuf) > 0 {
+			costs := wi.ringCosts(sc, node, maxCost)
+			for i, w := range sc.candBuf {
 				c := costs[i]
 				if math.IsInf(c, 1) || c > maxCost {
 					continue // unreachable or beyond the deadline budget
@@ -163,6 +211,32 @@ func (wi *WorkerIndex) ClosestIdleWithin(node geo.NodeID, now float64, minCapaci
 	return best, bestCost
 }
 
+// ProbeReader is a read-only probe handle over the index with private
+// scratch: several readers may run ClosestIdleWithin concurrently (against
+// each other and against nothing else — the index must not be mutated while
+// any reader is in flight). Each probe also records the cells it visited,
+// which is exactly the dependency footprint of its answer.
+type ProbeReader struct {
+	wi   *WorkerIndex
+	sc   probeScratch
+	scan []int32
+}
+
+// NewReader returns a concurrent probe handle over the index.
+func (wi *WorkerIndex) NewReader() *ProbeReader {
+	return &ProbeReader{wi: wi}
+}
+
+// ClosestIdleWithin runs the identical budgeted ring search as
+// WorkerIndex.ClosestIdleWithin and additionally returns the cells the
+// search visited. The returned slice is the reader's scratch, valid until
+// its next probe.
+func (r *ProbeReader) ClosestIdleWithin(node geo.NodeID, now float64, minCapacity int, maxCost float64) (*order.Worker, float64, []int32) {
+	r.scan = r.scan[:0]
+	w, cost := r.wi.closestIdleWithin(node, now, minCapacity, maxCost, &r.sc, &r.scan)
+	return w, cost, r.scan
+}
+
 // KNearest returns up to k workers passing pred, ordered by increasing
 // travel time from their location to node. The ring search scans outward
 // and stops once it has k hits and one extra ring (grid distance only
@@ -180,21 +254,22 @@ func (wi *WorkerIndex) KNearest(node geo.NodeID, k int, pred func(*order.Worker)
 	var cands []cand
 	foundAt := -1
 	seen := 0
+	sc := &wi.sc
 	for d := 0; d <= wi.ix.N(); d++ {
-		wi.candBuf = wi.candBuf[:0]
+		sc.candBuf = sc.candBuf[:0]
 		wi.ix.Ring(center, d, func(cell int) bool {
 			seen += len(wi.cells[cell])
 			for _, w := range wi.cells[cell] {
 				if pred != nil && !pred(w) {
 					continue
 				}
-				wi.candBuf = append(wi.candBuf, w)
+				sc.candBuf = append(sc.candBuf, w)
 			}
 			return true
 		})
-		if len(wi.candBuf) > 0 {
-			costs := wi.ringCosts(node, math.Inf(1))
-			for i, w := range wi.candBuf {
+		if len(sc.candBuf) > 0 {
+			costs := wi.ringCosts(sc, node, math.Inf(1))
+			for i, w := range sc.candBuf {
 				if math.IsInf(costs[i], 1) {
 					continue // disconnected: not a usable candidate
 				}
@@ -240,6 +315,12 @@ func (wi *WorkerIndex) SupplyDistribution(now float64) Distribution {
 	}
 	d.Normalize()
 	return d
+}
+
+// CellOfWorker returns the cell the index currently files the worker under.
+func (wi *WorkerIndex) CellOfWorker(id int) (int, bool) {
+	c, ok := wi.cellOf[id]
+	return c, ok
 }
 
 // Len returns the number of indexed workers.

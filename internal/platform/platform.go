@@ -17,6 +17,7 @@ import (
 	"watter/internal/order"
 	"watter/internal/pool"
 	"watter/internal/roadnet"
+	"watter/internal/shard"
 	"watter/internal/sim"
 	"watter/internal/strategy"
 )
@@ -41,6 +42,7 @@ type config struct {
 	alg     sim.Algorithm
 	poolOpt *pool.Options
 	buffer  int
+	shards  int
 }
 
 // Option configures a Platform at construction; invalid values surface as
@@ -126,6 +128,33 @@ func WithPool(opt pool.Options) Option {
 	}
 }
 
+// WithShards sets the dispatch engine's slot-shard count: K > 1 fans the
+// periodic check's expensive read-only work (worker-probe ring searches,
+// singleton plans, pairwise shareability prewarm) over K goroutines while
+// the platform's decisions — and therefore its metrics and its event
+// stream — stay bit-identical to the default K = 1 sequential check
+// (every event is still emitted from the one sequential commit pass, so
+// the bus order needs no merging). Sharding is a capability of the WATTER
+// pooling framework; algorithms without a shardable check (the GDP/GAS
+// baselines) run unsharded regardless of K. Must be at least 1.
+//
+// K > 1 issues concurrent read-only queries (Cost/FillCostMatrix)
+// against the platform's Network from the shard goroutines, so the
+// network must tolerate concurrent queries. Every network this module
+// ships — GridCity (stateless closed form) and Graph (mutex-guarded
+// cache, pooled search state, hammered by the roadnet concurrency
+// tests) — does; a custom Network with unguarded internal memoization
+// must add its own synchronization before enabling shards.
+func WithShards(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("platform: shard count must be at least 1, got %d (1 is the sequential check)", k)
+		}
+		c.shards = k
+		return nil
+	}
+}
+
 // WithMeasuredTime toggles wall-clock accounting of algorithm hooks
 // (Metrics.DecisionSeconds). Default on, matching DefaultRunOptions.
 func WithMeasuredTime(on bool) Option {
@@ -154,6 +183,9 @@ type tickSetter interface{ SetTick(float64) }
 
 // poolSetter is the pool-retuning hook the pooling framework exposes.
 type poolSetter interface{ SetPoolOptions(pool.Options) }
+
+// shardSetter is the dispatch-sharding hook the pooling framework exposes.
+type shardSetter interface{ SetShards(int) }
 
 // New builds a platform over a network and fleet. Every parameter is
 // validated — construction fails loudly instead of silently coercing:
@@ -212,6 +244,11 @@ func New(net roadnet.Network, workers []*order.Worker, options ...Option) (*Plat
 	}
 	if ts, ok := c.alg.(tickSetter); ok {
 		ts.SetTick(c.opts.TickEvery)
+	}
+	if c.shards > 1 {
+		if ss, ok := c.alg.(shardSetter); ok {
+			ss.SetShards(c.shards)
+		}
 	}
 	env := sim.NewEnv(net, workers, c.cfg) // cfg validated above: cannot panic
 	stream, err := sim.NewStream(env, c.alg, c.opts)
@@ -342,3 +379,17 @@ func (p *Platform) Env() *sim.Env { return p.env }
 
 // Algorithm returns the installed dispatch policy.
 func (p *Platform) Algorithm() sim.Algorithm { return p.stream.Alg() }
+
+// ShardStats returns the slot-sharded dispatch engine's speculation
+// counters. ok is false when no engine is running — the platform was built
+// without WithShards (or with K = 1), or the algorithm has no shardable
+// check (GDP/GAS).
+func (p *Platform) ShardStats() (shard.Stats, bool) {
+	type shardStatser interface{ ShardEngine() *shard.Engine }
+	if ss, ok := p.stream.Alg().(shardStatser); ok {
+		if eng := ss.ShardEngine(); eng != nil {
+			return eng.Stats(), true
+		}
+	}
+	return shard.Stats{}, false
+}

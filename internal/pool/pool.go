@@ -96,6 +96,11 @@ type Pool struct {
 	keyBuf    []byte           // cache key rendering
 	improve   map[int]improved // refreshBest deferred member updates
 	pairProbe *planEntry       // reusable scratch for failed pair tests
+	// prewarmNeg holds the keys of negative pair entries the last
+	// PrewarmPairs merged; the insert that consumes them calls
+	// FlushPrewarmedNegatives so they don't outlive their one lookup
+	// (mirroring pairEntryFor's no-persist policy for failed pair tests).
+	prewarmNeg []string
 
 	// Demand distributions over cells, maintained incrementally; these are
 	// the MDP state's sO vectors.
@@ -341,18 +346,24 @@ func (p *Pool) BestGroup(id int) (*order.Group, float64, bool) {
 // radius of n's pickup cell, ascending. The returned slice is pool scratch,
 // valid until the next candidates call.
 func (p *Pool) candidates(n *node) []int {
+	return p.candidatesAt(n.cell, n.o.ID)
+}
+
+// candidatesAt is candidates keyed by cell, usable before the order has a
+// node (the sharded engine's insert prewarm runs it pre-Insert).
+func (p *Pool) candidatesAt(cell, selfID int) []int {
 	out := p.candBuf[:0]
 	if p.opt.CandidateRadius < 0 {
 		for id := range p.nodes {
-			if id != n.o.ID {
+			if id != selfID {
 				out = append(out, id)
 			}
 		}
 	} else {
 		for d := 0; d <= p.opt.CandidateRadius; d++ {
-			p.ix.Ring(n.cell, d, func(cell int) bool {
-				for _, id := range p.cells[cell] {
-					if id != n.o.ID {
+			p.ix.Ring(cell, d, func(c int) bool {
+				for _, id := range p.cells[c] {
+					if id != selfID {
 						out = append(out, id)
 					}
 				}

@@ -86,6 +86,25 @@ func (s *LegStore) Evict(orderID int) {
 	delete(s.byOrder, orderID)
 }
 
+// Adopt moves every block of the other store into this one, indexing them
+// per member for eviction; blocks already present win (they hold the same
+// pure cost values, so the choice is cosmetic). The sharded engine's insert
+// prewarm computes pair blocks into throwaway per-task stores on shard
+// goroutines, then adopts them into the pool's store on the coordinator —
+// the fills counter follows the blocks so accounting matches a sequential
+// fill. The other store must not be used afterwards.
+func (s *LegStore) Adopt(other *LegStore) {
+	for key, blk := range other.blocks {
+		if _, ok := s.blocks[key]; ok {
+			continue
+		}
+		s.blocks[key] = blk
+		s.byOrder[key.lo] = append(s.byOrder[key.lo], key)
+		s.byOrder[key.hi] = append(s.byOrder[key.hi], key)
+		s.fills++
+	}
+}
+
 // Len reports the number of cached pair blocks.
 func (s *LegStore) Len() int { return len(s.blocks) }
 

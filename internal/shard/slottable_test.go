@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSlotTableCoversEverySlotOnce: every slot is owned by exactly one
+// in-range shard, and the per-shard slot lists partition the slot set —
+// for fresh tables and after arbitrary migration histories.
+func TestSlotTableCoversEverySlotOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(8)
+		radius := rng.Intn(3)
+		tab, err := NewSlotTable(n, k, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mig := 0; mig < rng.Intn(10); mig++ {
+			if err := tab.Reassign(rng.Intn(tab.NumSlots()), rng.Intn(tab.K())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seen := make([]int, tab.NumSlots())
+		total := 0
+		for sh := 0; sh < tab.K(); sh++ {
+			for _, s := range tab.SlotsOf(sh) {
+				if tab.ShardOf(s) != sh {
+					t.Fatalf("n=%d k=%d: SlotsOf(%d) lists slot %d owned by %d", n, k, sh, s, tab.ShardOf(s))
+				}
+				seen[s]++
+				total++
+			}
+		}
+		if total != tab.NumSlots() {
+			t.Fatalf("n=%d k=%d: shard lists cover %d slots, want %d", n, k, total, tab.NumSlots())
+		}
+		for s, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d k=%d: slot %d owned %d times", n, k, s, c)
+			}
+		}
+	}
+}
+
+// TestSlotTableBorderSymmetric: whenever two slots within the candidate
+// radius have different owners, both are border slots; and a non-border
+// slot's whole radius neighborhood shares its owner.
+func TestSlotTableBorderSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		k := 1 + rng.Intn(6)
+		radius := rng.Intn(3)
+		tab, err := NewSlotTable(n, k, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mig := 0; mig < rng.Intn(8); mig++ {
+			_ = tab.Reassign(rng.Intn(tab.NumSlots()), rng.Intn(tab.K()))
+		}
+		cheb := func(a, b int) int {
+			ax, ay := a%n, a/n
+			bx, by := b%n, b/n
+			dx, dy := ax-bx, ay-by
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			if dx > dy {
+				return dx
+			}
+			return dy
+		}
+		for a := 0; a < tab.NumSlots(); a++ {
+			for b := 0; b < tab.NumSlots(); b++ {
+				if cheb(a, b) > radius {
+					continue
+				}
+				if tab.ShardOf(a) != tab.ShardOf(b) {
+					if !tab.IsBorder(a) || !tab.IsBorder(b) {
+						t.Fatalf("n=%d k=%d r=%d: foreign pair (%d,%d) not mutually border", n, k, radius, a, b)
+					}
+				} else if !tab.IsBorder(a) && tab.IsBorder(b) && cheb(a, b) == 0 {
+					t.Fatalf("slot %d disagrees with itself", a)
+				}
+			}
+		}
+		for s := 0; s < tab.NumSlots(); s++ {
+			if tab.IsBorder(s) {
+				continue
+			}
+			for b := 0; b < tab.NumSlots(); b++ {
+				if cheb(s, b) <= radius && tab.ShardOf(b) != tab.ShardOf(s) {
+					t.Fatalf("n=%d k=%d r=%d: non-border slot %d has foreign neighbor %d", n, k, radius, s, b)
+				}
+			}
+		}
+	}
+}
+
+// TestSlotHandoffPreservesWorkerMultiset: migrating slots between shards —
+// whether one Reassign at a time or a whole Rebalance — moves the workers
+// filed under those slots between shards without ever duplicating or
+// dropping one: the per-shard partitions always union to the exact worker
+// multiset.
+func TestSlotHandoffPreservesWorkerMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(8)
+		k := 2 + rng.Intn(5)
+		tab, err := NewSlotTable(n, k, 1+rng.Intn(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers := 1 + rng.Intn(60)
+		cells := make([]int, workers)
+		for i := range cells {
+			cells[i] = rng.Intn(tab.NumSlots())
+		}
+		check := func(when string) {
+			seen := make([]int, workers)
+			for sh, part := range tab.Partition(cells) {
+				if sh >= tab.K() {
+					t.Fatalf("%s: shard %d out of range", when, sh)
+				}
+				for _, i := range part {
+					seen[i]++
+				}
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("%s: worker %d appears %d times after handoff", when, i, c)
+				}
+			}
+		}
+		check("fresh")
+		epoch := tab.Epoch()
+		for mig := 0; mig < 5; mig++ {
+			if err := tab.Reassign(rng.Intn(tab.NumSlots()), rng.Intn(tab.K())); err != nil {
+				t.Fatal(err)
+			}
+			check("after reassign")
+		}
+		load := make([]int, tab.NumSlots())
+		for _, c := range cells {
+			load[c]++
+		}
+		moved := tab.Rebalance(load)
+		check("after rebalance")
+		if moved > 0 && tab.Epoch() == epoch {
+			t.Fatal("rebalance moved slots without advancing the epoch")
+		}
+	}
+}
+
+// TestSlotTableRebalanceReducesImbalance: a table with all load on one
+// shard hands slots off deterministically and ends less imbalanced.
+func TestSlotTableRebalanceReducesImbalance(t *testing.T) {
+	tab, err := NewSlotTable(6, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := make([]int, tab.NumSlots())
+	for _, s := range tab.SlotsOf(0) {
+		load[s] = 5
+	}
+	imbalance := func() (hi, lo int) {
+		per := make([]int, tab.K())
+		for s, l := range load {
+			per[tab.ShardOf(s)] += l
+		}
+		hi, lo = per[0], per[0]
+		for _, v := range per[1:] {
+			if v > hi {
+				hi = v
+			}
+			if v < lo {
+				lo = v
+			}
+		}
+		return
+	}
+	hi0, _ := imbalance()
+	moved := tab.Rebalance(load)
+	if moved == 0 {
+		t.Fatal("fully skewed load triggered no handoff")
+	}
+	hi1, lo1 := imbalance()
+	if hi1 >= hi0 {
+		t.Fatalf("rebalance did not shrink the heaviest shard: %d -> %d", hi0, hi1)
+	}
+	if hi1 > 2*lo1+1+5 {
+		// One slot of slack: the mover stops when within the 2x band or a
+		// single slot's load straddles the threshold.
+		t.Fatalf("still badly imbalanced after rebalance: hi=%d lo=%d", hi1, lo1)
+	}
+	// Determinism: the same inputs migrate the same slots.
+	tab2, _ := NewSlotTable(6, 3, 1)
+	load2 := make([]int, tab2.NumSlots())
+	for _, s := range tab2.SlotsOf(0) {
+		load2[s] = 5
+	}
+	tab2.Rebalance(load2)
+	for s := 0; s < tab.NumSlots(); s++ {
+		if tab.ShardOf(s) != tab2.ShardOf(s) {
+			t.Fatalf("rebalance is nondeterministic at slot %d", s)
+		}
+	}
+}
+
+func TestNewSlotTableValidation(t *testing.T) {
+	if _, err := NewSlotTable(0, 1, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewSlotTable(4, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewSlotTable(4, 1, -1); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+	tab, err := NewSlotTable(2, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.K() != 4 {
+		t.Fatalf("k not clamped to slot count: %d", tab.K())
+	}
+	if err := tab.Reassign(-1, 0); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if err := tab.Reassign(0, 99); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"watter/internal/platform"
 	"watter/internal/pool"
 	"watter/internal/roadnet"
+	"watter/internal/shard"
 	"watter/internal/sim"
 	"watter/internal/stats"
 	"watter/internal/strategy"
@@ -101,6 +102,9 @@ type (
 	// PoolCacheStats counts the shareability graph's plan-cache traffic
 	// (hits, negative hits, plans avoided/materialized).
 	PoolCacheStats = pool.CacheStats
+	// ShardStats counts the slot-sharded dispatch engine's speculation
+	// traffic (probe hits, invalidations, prewarm tasks, slot handoffs).
+	ShardStats = shard.Stats
 	// ExperimentParams is one experiment configuration point.
 	ExperimentParams = exp.Params
 	// ExperimentResult is one (algorithm, configuration) measurement.
@@ -155,6 +159,10 @@ var (
 	WithAlgorithm = platform.WithAlgorithm
 	// WithPool tunes the shareability graph behind the algorithm.
 	WithPool = platform.WithPool
+	// WithShards sets the dispatch engine's slot-shard count: K > 1 runs
+	// the periodic check's expensive read-only work on K goroutines with
+	// bit-identical results (1, the default, is the sequential check).
+	WithShards = platform.WithShards
 	// WithMeasuredTime toggles wall-clock accounting of algorithm hooks.
 	WithMeasuredTime = platform.WithMeasuredTime
 	// WithEventBuffer sizes the event channel (default 256).
