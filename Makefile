@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench lint staticcheck fmt ci benchsweep benchroute benchstream benchpool benchshard benchgate clean
+.PHONY: build examples test race bench lint staticcheck fmt ci benchsweep benchroute benchstream benchpool benchshard benchproxy benchgate clean
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,10 @@ benchpool:
 benchshard:
 	$(GO) run ./cmd/watterbench -benchshard BENCH_shard.json
 
+# Regenerate the multi-city proxy baseline (isolation + HA bit-identity).
+benchproxy:
+	$(GO) run ./cmd/watterproxy -quiet -json BENCH_proxy.json
+
 # Gate freshly produced /tmp reports against the committed baselines —
 # exactly the final CI step (run the bench steps first to produce them).
 benchgate:
@@ -70,7 +74,8 @@ benchgate:
 		BENCH_routing.json=/tmp/bench_route_ci.json \
 		BENCH_stream.json=/tmp/bench_stream_ci.json \
 		BENCH_pool.json=/tmp/bench_pool_ci.json \
-		BENCH_shard.json=/tmp/bench_shard_ci.json
+		BENCH_shard.json=/tmp/bench_shard_ci.json \
+		BENCH_proxy.json=/tmp/bench_proxy_ci.json
 
 clean:
 	$(GO) clean

@@ -957,7 +957,8 @@ func runBenchShard(path string, scale float64, seed int64, shards int, quiet boo
 			identical = false
 			logf("benchshard: %s diverged:\nK=1: %+v\nK=%d: %+v\n", name, *seqM, shards, *shardM)
 		}
-		if st, ok := plat.ShardStats(); ok {
+		if ps := plat.Stats(); ps.ShardActive {
+			st := ps.Shard
 			stats.Ticks += st.Ticks
 			stats.SpecOrders += st.SpecOrders
 			stats.GroupHits += st.GroupHits

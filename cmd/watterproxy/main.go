@@ -1,0 +1,294 @@
+// Command watterproxy demonstrates and verifies the multi-city front
+// tier: N city platforms behind one dispatch proxy, with the two
+// properties that make the tier honest checked end to end —
+//
+//   - isolation: every city's metrics under the proxy are bit-identical
+//     to the same city run alone on a standalone platform;
+//   - recoverability: a city killed mid-run is rebuilt from its recorded
+//     event journal, and the healed run's metrics are bit-identical to an
+//     uninterrupted one.
+//
+// Usage:
+//
+//	watterproxy                         # 3 cities, 2 seeds, full verify
+//	watterproxy -cities 6 -alg WATTER-timeout
+//	watterproxy -json /tmp/bench_proxy_ci.json   # CI report for benchgate
+//
+// City profiles cycle through CDC, NYC and XIA. The JSON report's
+// per_city_isolation_identical and ha_restart_identical flags are gated
+// by cmd/benchgate against the committed BENCH_proxy.json baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"watter/internal/dataset"
+	"watter/internal/exp"
+	"watter/internal/order"
+	"watter/internal/platform"
+	"watter/internal/proxy"
+	"watter/internal/sim"
+)
+
+func main() {
+	var (
+		cities  = flag.Int("cities", 3, "number of proxied city platforms")
+		orders  = flag.Int("orders", 400, "orders per city")
+		workers = flag.Int("workers", 30, "workers per city")
+		alg     = flag.String("alg", "WATTER-online", "dispatch algorithm for every city")
+		seed    = flag.Int64("seed", 1, "first workload seed")
+		nseeds  = flag.Int("nseeds", 2, "seed replicates (each verified independently)")
+		jsonOut = flag.String("json", "", "write a machine-readable report to this file")
+		quiet   = flag.Bool("quiet", false, "suppress per-city lines")
+	)
+	flag.Parse()
+	if *cities < 1 || *orders < 1 || *workers < 1 || *nseeds < 1 {
+		fmt.Fprintln(os.Stderr, "watterproxy: -cities, -orders, -workers and -nseeds must be positive")
+		os.Exit(2)
+	}
+
+	isolationOK, haOK := true, true
+	var proxySeconds float64
+	var journalEvents, restarts, totalOrders int
+	for s := 0; s < *nseeds; s++ {
+		r := runSeed(*cities, *orders, *workers, *alg, *seed+int64(s)*101, *quiet)
+		isolationOK = isolationOK && r.isolation
+		haOK = haOK && r.ha
+		proxySeconds += r.proxySeconds
+		journalEvents += r.journalEvents
+		restarts += r.restarts
+		totalOrders += r.orders
+	}
+
+	fmt.Printf("cities=%d orders/city=%d workers/city=%d alg=%s seeds=%d\n",
+		*cities, *orders, *workers, *alg, *nseeds)
+	fmt.Printf("  proxy throughput:        %.0f orders/s (%d orders in %.2fs)\n",
+		float64(totalOrders)/proxySeconds, totalOrders, proxySeconds)
+	fmt.Printf("  journal events:          %d (%d HA restarts replayed)\n", journalEvents, restarts)
+	fmt.Printf("  per-city isolation:      bit-identical=%v\n", isolationOK)
+	fmt.Printf("  HA journal-replay:       bit-identical=%v\n", haOK)
+
+	if *jsonOut != "" {
+		report := map[string]any{
+			"cities":                       *cities,
+			"orders_per_city":              *orders,
+			"workers_per_city":             *workers,
+			"alg":                          *alg,
+			"seeds":                        *nseeds,
+			"scale":                        1,
+			"gomaxprocs":                   runtime.GOMAXPROCS(0),
+			"orders_total":                 totalOrders,
+			"proxy_seconds":                proxySeconds,
+			"orders_per_sec":               float64(totalOrders) / proxySeconds,
+			"journal_events":               journalEvents,
+			"ha_restarts":                  restarts,
+			"per_city_isolation_identical": isolationOK,
+			"ha_restart_identical":         haOK,
+		}
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !isolationOK || !haOK {
+		os.Exit(1)
+	}
+}
+
+type seedResult struct {
+	isolation, ha bool
+	proxySeconds  float64
+	journalEvents int
+	restarts      int
+	orders        int
+}
+
+// runSeed builds one fleet of cities and runs the three arms: standalone
+// platforms (the reference), the proxy (isolation proof), and the proxy
+// with a mid-run crash healed from the journal (recovery proof).
+func runSeed(cities, orders, workers int, alg string, seed int64, quiet bool) seedResult {
+	profiles := []dataset.Profile{dataset.CDC(), dataset.NYC(), dataset.XIA()}
+	runner := exp.NewRunner()
+
+	type cityDef struct {
+		spec     proxy.CitySpec
+		workload []*order.Order
+	}
+	defs := make([]cityDef, cities)
+	for i := 0; i < cities; i++ {
+		profile := profiles[i%len(profiles)]
+		p := exp.DefaultParams(profile)
+		p.Orders = orders
+		p.Workers = workers
+		p.Seed = seed + int64(i)*17
+		city, os_, ws := exp.Workload(p)
+		cfg := sim.DefaultConfig()
+		cfg.GridN = p.GridN
+		cfg.Capacity = p.MaxCap
+		pc := p
+		defs[i] = cityDef{
+			spec: proxy.CitySpec{
+				ID:      fmt.Sprintf("%s-%d", profile.Name, i+1),
+				Net:     city.Net,
+				Workers: ws,
+				NewAlgorithm: func() sim.Algorithm {
+					a, err := runner.Build(alg, pc)
+					if err != nil {
+						return nil
+					}
+					return a
+				},
+				Options: []platform.Option{
+					platform.WithConfig(cfg),
+					platform.WithTick(p.TickEvery),
+					platform.WithMeasuredTime(false),
+				},
+			},
+			workload: os_,
+		}
+	}
+
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "watterproxy: seed %d: %v\n", seed, err)
+		os.Exit(1)
+	}
+
+	// Arm 1: every city standalone — the isolation reference.
+	standalone := make(map[string]sim.Metrics, cities)
+	for _, d := range defs {
+		ws := make([]*order.Worker, len(d.spec.Workers))
+		for i, w := range d.spec.Workers {
+			cp := *w
+			ws[i] = &cp
+		}
+		a := d.spec.NewAlgorithm()
+		if a == nil {
+			fatal(fmt.Errorf("unknown algorithm %q", alg))
+		}
+		p, err := platform.New(d.spec.Net, ws, append(d.spec.Options[:len(d.spec.Options):len(d.spec.Options)],
+			platform.WithAlgorithm(a))...)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := p.Replay(d.workload)
+		if err != nil {
+			fatal(err)
+		}
+		standalone[d.spec.ID] = strip(m)
+	}
+
+	specs := make([]proxy.CitySpec, cities)
+	workloads := make(map[string][]*order.Order, cities)
+	nOrders := 0
+	for i, d := range defs {
+		specs[i] = d.spec
+		workloads[d.spec.ID] = d.workload
+		nOrders += len(d.workload)
+	}
+
+	// Arm 2: the proxy, uninterrupted.
+	px, err := proxy.New(specs)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	proxied, err := px.Replay(workloads)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	journalLen := len(px.Journal())
+
+	isolation := true
+	for id, want := range standalone {
+		got := strip(proxied[id])
+		if got != want {
+			isolation = false
+			fmt.Fprintf(os.Stderr, "  ISOLATION BROKEN %s:\n    proxy:      %+v\n    standalone: %+v\n", id, got, want)
+		} else if !quiet {
+			fmt.Printf("  [seed %d] %-8s served %d/%d, isolation ok\n", seed, id, got.Served, got.Total)
+		}
+	}
+
+	// Arm 3: the proxy with a mid-run crash on the middle city, detected
+	// by a probe and healed by journal replay.
+	victim := specs[cities/2].ID
+	px2, err := proxy.New(specs)
+	if err != nil {
+		fatal(err)
+	}
+	type entry struct {
+		id string
+		o  *order.Order
+	}
+	var feed []entry
+	for _, d := range defs {
+		for _, o := range d.workload {
+			cp := *o
+			feed = append(feed, entry{d.spec.ID, &cp})
+		}
+	}
+	for i := 1; i < len(feed); i++ {
+		for j := i; j > 0 && feed[j].o.Release < feed[j-1].o.Release; j-- {
+			feed[j], feed[j-1] = feed[j-1], feed[j]
+		}
+	}
+	for i, e := range feed {
+		if i == len(feed)/2 {
+			if err := px2.Admin().Kill(victim); err != nil {
+				fatal(err)
+			}
+			for _, h := range px2.Admin().Probe() {
+				if h.City == victim && !h.Recovered {
+					fatal(fmt.Errorf("probe failed to heal %s: %v", victim, h.Err))
+				}
+			}
+		}
+		if err := px2.Submit(e.id, e.o); err != nil {
+			fatal(err)
+		}
+	}
+	healed, err := px2.Close()
+	if err != nil {
+		fatal(err)
+	}
+	restarts := px2.Admin().Stats().Restarts
+
+	ha := true
+	for id, want := range proxied {
+		if strip(healed[id]) != strip(want) {
+			ha = false
+			fmt.Fprintf(os.Stderr, "  HA DIVERGENCE %s:\n    healed: %+v\n    clean:  %+v\n", id, *healed[id], *want)
+		}
+	}
+	if !quiet {
+		fmt.Printf("  [seed %d] killed %s mid-run, %d restart(s), recovery identical=%v\n",
+			seed, victim, restarts, ha)
+	}
+
+	return seedResult{
+		isolation:     isolation,
+		ha:            ha,
+		proxySeconds:  elapsed,
+		journalEvents: journalLen,
+		restarts:      restarts,
+		orders:        nOrders,
+	}
+}
+
+// strip zeroes the one documented nondeterministic metrics field.
+func strip(m *sim.Metrics) sim.Metrics {
+	cp := *m
+	cp.DecisionSeconds = 0
+	return cp
+}

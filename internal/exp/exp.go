@@ -39,7 +39,13 @@ type Params struct {
 	// without changing any decision, so results are bit-identical at any
 	// value; baselines without a shardable check ignore it.
 	Shards int
-	Seed   int64
+	// NumCities runs the cell as a multi-city front tier: N instances of
+	// City (seed-derived independent workloads and fleets) behind one
+	// dispatch proxy, metrics aggregated across cities. 0 and 1 both mean
+	// a single standalone platform. City 0 always replays the single-city
+	// cell's exact workload, so cities=1 rows and plain rows agree.
+	NumCities int
+	Seed      int64
 	// Train tunes the offline pipeline for WATTER-expect.
 	Train TrainParams
 }
@@ -394,6 +400,9 @@ func MustBuild(name string, p Params) sim.Algorithm {
 // parameters surface here as construction errors instead of silent
 // defaults.
 func (r *Runner) RunOne(name string, p Params) (*Result, error) {
+	if p.NumCities > 1 {
+		return r.runProxyCell(name, p)
+	}
 	alg, err := r.Build(name, p)
 	if err != nil {
 		return nil, err

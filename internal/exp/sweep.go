@@ -27,6 +27,10 @@ type Matrix struct {
 	Workers   []int
 	MaxCaps   []int
 	TauScales []float64
+	// CityCounts is the multi-city axis: each entry runs the cell as
+	// NumCities proxied instances of the profile (see Params.NumCities).
+	// Default {Base.NumCities}.
+	CityCounts []int
 	// Seeds are the replicate seeds per cell; default {Base.Seed}.
 	Seeds []int64
 	// RetrainPerSeed trains a separate WATTER-expect model for every
@@ -77,6 +81,10 @@ func (m Matrix) Jobs() []Job {
 	if len(taus) == 0 {
 		taus = []float64{m.Base.TauScale}
 	}
+	cityCounts := m.CityCounts
+	if len(cityCounts) == 0 {
+		cityCounts = []int{m.Base.NumCities}
+	}
 	seeds := m.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{m.Base.Seed}
@@ -92,18 +100,27 @@ func (m Matrix) Jobs() []Job {
 			for _, w := range workers {
 				for _, k := range caps {
 					for _, tau := range taus {
-						for _, alg := range algs {
-							cell := fmt.Sprintf("%s/%s/n%d/m%d/k%d/tau%.2f", alg, city.Name, n, w, k, tau)
-							for _, seed := range seeds {
-								p := m.Base
-								p.City = city
-								p.Orders = n
-								p.Workers = w
-								p.MaxCap = k
-								p.TauScale = tau
-								p.Seed = seed
-								p.Train.Seed = trainSeed
-								jobs = append(jobs, Job{Index: len(jobs), Alg: alg, P: p, Cell: cell})
+						for _, nc := range cityCounts {
+							for _, alg := range algs {
+								cell := fmt.Sprintf("%s/%s/n%d/m%d/k%d/tau%.2f", alg, city.Name, n, w, k, tau)
+								if nc > 1 {
+									// Suffix only multi-city rows so existing
+									// cell keys (and persisted results) are
+									// unchanged.
+									cell += fmt.Sprintf("/cities%d", nc)
+								}
+								for _, seed := range seeds {
+									p := m.Base
+									p.City = city
+									p.Orders = n
+									p.Workers = w
+									p.MaxCap = k
+									p.TauScale = tau
+									p.NumCities = nc
+									p.Seed = seed
+									p.Train.Seed = trainSeed
+									jobs = append(jobs, Job{Index: len(jobs), Alg: alg, P: p, Cell: cell})
+								}
 							}
 						}
 					}

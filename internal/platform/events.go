@@ -80,18 +80,32 @@ type TickCompleted struct {
 func (e TickCompleted) When() float64 { return e.Time }
 func (TickCompleted) event()          {}
 
-// busSink adapts the simulator's callback sink to the typed event
-// channel. Sends block when the buffer is full, so no event is ever
-// dropped; consumers must drain (or size the buffer) accordingly.
-type busSink struct {
+// fanSink adapts the simulator's callback sink to the platform's two
+// delivery paths: the synchronous observer callback (journal recorders —
+// sees every event first, never buffers) and the typed event channel
+// (dashboards — sends block when the buffer is full, so no event is ever
+// dropped; consumers must drain or size the buffer accordingly). Either
+// tap may be absent.
+type fanSink struct {
+	fn func(Event)
 	ch chan Event
 }
 
-func (b *busSink) OrderAdmitted(o *order.Order, now float64) {
-	b.ch <- OrderAdmitted{Time: now, Order: o}
+// emit fans one event out to whichever taps exist, observer first.
+func (b *fanSink) emit(ev Event) {
+	if b.fn != nil {
+		b.fn(ev)
+	}
+	if b.ch != nil {
+		b.ch <- ev
+	}
 }
 
-func (b *busSink) GroupDispatched(w *order.Worker, g *order.Group, approach, now float64) {
+func (b *fanSink) OrderAdmitted(o *order.Order, now float64) {
+	b.emit(OrderAdmitted{Time: now, Order: o})
+}
+
+func (b *fanSink) GroupDispatched(w *order.Worker, g *order.Group, approach, now float64) {
 	ev := GroupDispatched{
 		Time:     now,
 		Approach: approach,
@@ -118,10 +132,10 @@ func (b *busSink) GroupDispatched(w *order.Worker, g *order.Group, approach, now
 			Detour:   st - o.DirectCost,
 		})
 	}
-	b.ch <- ev
+	b.emit(ev)
 }
 
-func (b *busSink) OrderServed(w *order.Worker, o *order.Order, response, detour, now float64) {
+func (b *fanSink) OrderServed(w *order.Worker, o *order.Order, response, detour, now float64) {
 	ev := GroupDispatched{
 		Time:   now,
 		Orders: []ServiceRecord{{OrderID: o.ID, Response: response, Detour: detour}},
@@ -129,15 +143,15 @@ func (b *busSink) OrderServed(w *order.Worker, o *order.Order, response, detour,
 	if w != nil {
 		ev.WorkerID = w.ID
 	}
-	b.ch <- ev
+	b.emit(ev)
 }
 
-func (b *busSink) OrderRejected(o *order.Order, penalty, unified, now float64) {
-	b.ch <- OrderRejected{Time: now, Order: o, Penalty: penalty, UnifiedPenalty: unified}
+func (b *fanSink) OrderRejected(o *order.Order, penalty, unified, now float64) {
+	b.emit(OrderRejected{Time: now, Order: o, Penalty: penalty, UnifiedPenalty: unified})
 }
 
-func (b *busSink) TickCompleted(now float64, m sim.Metrics) {
-	b.ch <- TickCompleted{Time: now, Metrics: m}
+func (b *fanSink) TickCompleted(now float64, m sim.Metrics) {
+	b.emit(TickCompleted{Time: now, Metrics: m})
 }
 
-var _ sim.EventSink = (*busSink)(nil)
+var _ sim.EventSink = (*fanSink)(nil)

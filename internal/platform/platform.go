@@ -22,6 +22,18 @@ import (
 	"watter/internal/strategy"
 )
 
+// Lifecycle sentinels. ErrClosed is the typed "platform is closed" error:
+// Submit/Tick/Replay return it (test with errors.Is) after Close or Abort.
+// ErrPaused is returned while the platform is administratively paused —
+// the operation is refused but the platform stays usable. ErrAborted is
+// what Close reports (idempotently) for a platform that was killed by
+// Abort or by a mid-replay failure instead of draining cleanly.
+var (
+	ErrClosed  = errors.New("platform: closed")
+	ErrPaused  = errors.New("platform: paused")
+	ErrAborted = errors.New("platform: aborted")
+)
+
 // Platform is a ridesharing service instance: one network, one fleet, one
 // dispatch algorithm, and a streaming clock. It is not safe for
 // concurrent use — one goroutine feeds it; event consumers run elsewhere.
@@ -29,20 +41,27 @@ type Platform struct {
 	stream     *sim.Stream
 	env        *sim.Env
 	events     chan Event
-	subscribed bool // a live sink is installed (events must be closed at Close)
-	fed        bool // the run has started; too late to subscribe
+	sink       *fanSink // installed on the stream once any delivery path exists
+	subscribed bool     // a live sink is installed (events must be closed at Close)
+	fed        bool     // the run has started; too late to subscribe
 	buffer     int
+	paused     bool
 	closed     bool
+	// Close is idempotent: the first call's result is memoized and every
+	// later call returns exactly the same (*Metrics, error) pair.
+	closeM   *sim.Metrics
+	closeErr error
 }
 
 // config accumulates functional options before validation.
 type config struct {
-	cfg     sim.Config
-	opts    sim.RunOptions
-	alg     sim.Algorithm
-	poolOpt *pool.Options
-	buffer  int
-	shards  int
+	cfg      sim.Config
+	opts     sim.RunOptions
+	alg      sim.Algorithm
+	poolOpt  *pool.Options
+	buffer   int
+	shards   int
+	observer func(Event)
 }
 
 // Option configures a Platform at construction; invalid values surface as
@@ -178,6 +197,24 @@ func WithEventBuffer(n int) Option {
 	}
 }
 
+// WithObserver installs a synchronous event callback, invoked for every
+// event on the feeding goroutine as it happens — the journal-recording
+// hook the multi-city proxy builds on. Unlike the Events channel the
+// observer never buffers and never blocks on a consumer, so it is the
+// right tap for recorders that must not miss or reorder anything. The
+// callback must not call back into the Platform. It composes with
+// Events(): a subscribed channel receives every event the observer saw,
+// observer first.
+func WithObserver(fn func(Event)) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return errors.New("platform: nil observer")
+		}
+		c.observer = fn
+		return nil
+	}
+}
+
 // tickSetter is the retuning hook the pooling framework exposes.
 type tickSetter interface{ SetTick(float64) }
 
@@ -255,7 +292,22 @@ func New(net roadnet.Network, workers []*order.Worker, options ...Option) (*Plat
 	if err != nil {
 		return nil, err
 	}
-	return &Platform{stream: stream, env: env, buffer: c.buffer}, nil
+	p := &Platform{stream: stream, env: env, buffer: c.buffer}
+	if c.observer != nil {
+		p.ensureSink().fn = c.observer
+	}
+	return p, nil
+}
+
+// ensureSink lazily installs the fan-out sink on the stream. Both delivery
+// paths (observer callback, event channel) hang off the one sink, so the
+// stream sees a single EventSink regardless of how many taps exist.
+func (p *Platform) ensureSink() *fanSink {
+	if p.sink == nil {
+		p.sink = &fanSink{}
+		p.stream.SetSink(p.sink)
+	}
+	return p.sink
 }
 
 // Events returns the platform's event channel, creating it on first call.
@@ -276,7 +328,7 @@ func (p *Platform) Events() <-chan Event {
 			close(p.events)
 		} else {
 			p.subscribed = true
-			p.stream.SetSink(&busSink{ch: p.events})
+			p.ensureSink().ch = p.events
 		}
 	}
 	return p.events
@@ -289,7 +341,10 @@ func (p *Platform) Events() <-chan Event {
 // should go through Replay, which clones.
 func (p *Platform) Submit(o *order.Order) error {
 	if p.closed {
-		return sim.ErrStreamClosed
+		return ErrClosed
+	}
+	if p.paused {
+		return ErrPaused
 	}
 	if o == nil {
 		return errors.New("platform: nil order")
@@ -306,26 +361,68 @@ func (p *Platform) Submit(o *order.Order) error {
 // orders arrive.
 func (p *Platform) Tick() (float64, error) {
 	if p.closed {
-		return 0, sim.ErrStreamClosed
+		return 0, ErrClosed
+	}
+	if p.paused {
+		return 0, ErrPaused
 	}
 	p.fed = true
 	return p.stream.Tick()
 }
 
+// Pause administratively freezes ingestion: Submit and Tick return
+// ErrPaused until Resume. Pausing is metrics-neutral — the simulation runs
+// on virtual time, so delaying ticks moves no boundary and changes no
+// decision; only traffic the caller drops while paused is lost. Close
+// still works on a paused platform (it drains and finalizes as usual).
+func (p *Platform) Pause() error {
+	if p.closed {
+		return ErrClosed
+	}
+	p.paused = true
+	return nil
+}
+
+// Resume lifts a Pause. Resuming an unpaused platform is a no-op.
+func (p *Platform) Resume() error {
+	if p.closed {
+		return ErrClosed
+	}
+	p.paused = false
+	return nil
+}
+
 // Close drains the platform — periodic checks keep firing until the
 // horizon (largest outstanding deadline, or last release + drain slack),
 // remaining pooled orders are dispatched or rejected — then closes the
-// event channel and returns the final metrics.
+// event channel and returns the final metrics. Close is idempotent: every
+// call after the first returns the first call's exact (*Metrics, error)
+// pair, so restart and teardown paths can close defensively without
+// tracking who closed first.
 func (p *Platform) Close() (*sim.Metrics, error) {
 	if p.closed {
-		return nil, sim.ErrStreamClosed
+		return p.closeM, p.closeErr
 	}
 	p.closed = true
-	m, err := p.stream.Close()
+	p.closeM, p.closeErr = p.stream.Close()
 	if p.subscribed {
 		close(p.events)
 	}
-	return m, err
+	return p.closeM, p.closeErr
+}
+
+// Abort kills the platform without draining: no final ticks, no Finish,
+// in-flight pool state is simply gone — the programmatic equivalent of the
+// process crashing. The event channel still closes so ranging consumers
+// terminate, Submit/Tick return ErrClosed afterwards, and Close reports
+// ErrAborted (idempotently). The multi-city proxy's crash injection and
+// restart teardown both route through here; recovery is the owner's
+// problem (replay the recorded event journal into a fresh platform).
+func (p *Platform) Abort() {
+	if p.closed {
+		return
+	}
+	p.abort()
 }
 
 // Replay is paper-replication mode on the streaming core: after
@@ -338,7 +435,10 @@ func (p *Platform) Close() (*sim.Metrics, error) {
 // consumers always terminate.
 func (p *Platform) Replay(orders []*order.Order) (*sim.Metrics, error) {
 	if p.closed {
-		return nil, sim.ErrStreamClosed
+		return nil, ErrClosed
+	}
+	if p.paused {
+		return nil, ErrPaused
 	}
 	for i, o := range orders {
 		if o == nil {
@@ -359,8 +459,11 @@ func (p *Platform) Replay(orders []*order.Order) (*sim.Metrics, error) {
 // abort kills a platform whose run failed mid-flight: no drain, no
 // Finish — but the event channel still closes so ranging consumers
 // terminate instead of hanging on a bus that will never deliver again.
+// Later Close calls report ErrAborted instead of pretending a clean drain
+// produced metrics.
 func (p *Platform) abort() {
 	p.closed = true
+	p.closeM, p.closeErr = nil, ErrAborted
 	if p.subscribed {
 		close(p.events)
 	}
@@ -384,6 +487,10 @@ func (p *Platform) Algorithm() sim.Algorithm { return p.stream.Alg() }
 // counters. ok is false when no engine is running — the platform was built
 // without WithShards (or with K = 1), or the algorithm has no shardable
 // check (GDP/GAS).
+//
+// Deprecated: use Stats, which folds the same counters (Stats().Shard /
+// Stats().ShardActive) into the unified observability snapshot alongside
+// the pool cache, event-bus depth and order ledger.
 func (p *Platform) ShardStats() (shard.Stats, bool) {
 	type shardStatser interface{ ShardEngine() *shard.Engine }
 	if ss, ok := p.stream.Alg().(shardStatser); ok {

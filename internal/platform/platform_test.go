@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -100,20 +101,22 @@ func TestSubmitValidatesAndOrders(t *testing.T) {
 	if err := p.Submit(testOrder(net, 3, 20)); err == nil {
 		t.Fatal("out-of-order release accepted")
 	}
-	if _, err := p.Close(); err != nil {
+	m, err := p.Close()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Submit(testOrder(net, 4, 99)); err != sim.ErrStreamClosed {
+	if err := p.Submit(testOrder(net, 4, 99)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: %v", err)
 	}
-	if _, err := p.Tick(); err != sim.ErrStreamClosed {
+	if _, err := p.Tick(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("tick after close: %v", err)
 	}
-	if _, err := p.Replay(nil); err != sim.ErrStreamClosed {
+	if _, err := p.Replay(nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("replay after close: %v", err)
 	}
-	if _, err := p.Close(); err != sim.ErrStreamClosed {
-		t.Fatalf("double close: %v", err)
+	m2, err := p.Close()
+	if err != nil || m2 != m {
+		t.Fatalf("double close must repeat the first result: got (%p, %v), want (%p, nil)", m2, err, m)
 	}
 }
 
@@ -245,8 +248,11 @@ func TestReplayErrorAborts(t *testing.T) {
 	}
 	for range events { // must terminate: the abort closed the bus
 	}
-	if err := p.Submit(testOrder(net, 2, 50)); err != sim.ErrStreamClosed {
+	if err := p.Submit(testOrder(net, 2, 50)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("aborted platform still accepts orders: %v", err)
+	}
+	if _, err := p.Close(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("close after abort must report the abort: %v", err)
 	}
 }
 

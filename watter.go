@@ -54,6 +54,7 @@ import (
 	"watter/internal/order"
 	"watter/internal/platform"
 	"watter/internal/pool"
+	"watter/internal/proxy"
 	"watter/internal/roadnet"
 	"watter/internal/shard"
 	"watter/internal/sim"
@@ -145,7 +146,93 @@ type (
 	TickCompleted = platform.TickCompleted
 	// ServiceRecord is one served order's share of a dispatch.
 	ServiceRecord = platform.ServiceRecord
+	// PlatformStats is the unified observability snapshot of one platform:
+	// lifecycle flags, the order ledger, event-bus depth, and the shard
+	// and pool-cache counters in one struct.
+	PlatformStats = platform.Stats
+	// OrderCounts is PlatformStats' submitted/served/rejected/pending
+	// ledger.
+	OrderCounts = platform.OrderCounts
 )
+
+// The multi-city front tier: one Proxy owns N independent city Platforms
+// behind a single routing, journal and admin/ops surface.
+type (
+	// Proxy routes order streams to N city platforms, drives their
+	// periodic checks from one coordinated clock, and multiplexes their
+	// event buses into a single tagged journal. Per-city isolation and
+	// journal-replay crash recovery are both bit-identical (proven by
+	// tests; see DESIGN.md §10).
+	Proxy = proxy.Proxy
+	// ProxyOption configures NewProxy; invalid values surface as errors.
+	ProxyOption = proxy.Option
+	// CitySpec is the restart-safe blueprint of one proxied city.
+	CitySpec = proxy.CitySpec
+	// CityEvent is one merged-journal entry: an event tagged with its city.
+	CityEvent = proxy.CityEvent
+	// ProxyAdmin is the operator plane: pause/resume, crash injection,
+	// manual restart, health probes and fleet stats.
+	ProxyAdmin = proxy.Admin
+	// ProxyStats is the fleet snapshot: every city's PlatformStats plus
+	// their aggregate fold.
+	ProxyStats = proxy.AdminStats
+	// ProxyCityStats is one city's tagged snapshot inside ProxyStats.
+	ProxyCityStats = proxy.CityStats
+	// CityHealth is one city's probe report.
+	CityHealth = proxy.Health
+	// CityState is a city's lifecycle state as the front tier sees it.
+	CityState = proxy.CityState
+)
+
+// Proxy construction options and city lifecycle states.
+var (
+	// WithJournalSink taps the merged journal synchronously in merge order.
+	WithJournalSink = proxy.WithJournalSink
+	// WithAutoRestart toggles journal-replay self-healing (default on).
+	WithAutoRestart = proxy.WithAutoRestart
+
+	// CityRunning / CityPaused / CityDown / CityClosed are the CityState
+	// values probe reports carry.
+	CityRunning = proxy.StateRunning
+	CityPaused  = proxy.StatePaused
+	CityDown    = proxy.StateDown
+	CityClosed  = proxy.StateClosed
+)
+
+// Lifecycle sentinels (test with errors.Is).
+var (
+	// ErrPlatformClosed is returned by platform operations after Close.
+	ErrPlatformClosed = platform.ErrClosed
+	// ErrPlatformPaused is returned while a platform (or proxied city) is
+	// administratively paused.
+	ErrPlatformPaused = platform.ErrPaused
+	// ErrProxyClosed is returned by proxy operations after Proxy.Close.
+	ErrProxyClosed = proxy.ErrClosed
+	// ErrUnknownCity is returned when a city ID matches no owned platform.
+	ErrUnknownCity = proxy.ErrUnknownCity
+	// ErrCityDown is returned when traffic hits a crashed city and
+	// auto-restart is disabled.
+	ErrCityDown = proxy.ErrCityDown
+)
+
+// NewProxy builds a multi-city front tier owning one platform per spec.
+// Specs are validated (unique non-empty IDs, buildable platforms) and
+// every city is constructed eagerly, so configuration errors surface here:
+//
+//	cdc, nyc := watter.CityCDC().Build(), watter.CityNYC().Build()
+//	px, err := watter.NewProxy([]watter.CitySpec{
+//	    {ID: "cdc", Net: cdc.Net, Workers: cdc.Workers(170, 4, 2),
+//	     NewAlgorithm: watter.NewOnline},
+//	    {ID: "nyc", Net: nyc.Net, Workers: nyc.Workers(300, 4, 2),
+//	     NewAlgorithm: watter.NewTimeout},
+//	})
+//	if err != nil { ... }
+//	_ = px.Submit("cdc", o)          // routed ingestion
+//	health := px.Admin().Probe()     // HA probe; wedged cities heal here
+//	metrics, err := px.Close()       // per-city final metrics
+func NewProxy(specs []CitySpec, opts ...ProxyOption) (*Proxy, error) {
+	return proxy.New(specs, opts...)
+}
 
 // Platform construction options (see platform.New for semantics).
 var (
@@ -167,6 +254,9 @@ var (
 	WithMeasuredTime = platform.WithMeasuredTime
 	// WithEventBuffer sizes the event channel (default 256).
 	WithEventBuffer = platform.WithEventBuffer
+	// WithObserver installs a synchronous event tap (journal recorders);
+	// it sees every event in order without subscribing to the channel bus.
+	WithObserver = platform.WithObserver
 )
 
 // New builds an event-driven platform over a network and fleet. Every

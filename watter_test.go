@@ -113,3 +113,68 @@ func TestCityProfilesExported(t *testing.T) {
 		t.Fatal("facade drifted from dataset package")
 	}
 }
+
+// TestFacadeProxy exercises the multi-city front tier through the public
+// surface: routed ingestion, unified stats, crash injection, probe-driven
+// healing, and per-city final metrics.
+func TestFacadeProxy(t *testing.T) {
+	cdc, xia := CityCDC().Build(), CityXIA().Build()
+	px, err := NewProxy([]CitySpec{
+		{ID: "cdc", Net: cdc.Net, Workers: cdc.Workers(8, 4, 2),
+			NewAlgorithm: NewOnline,
+			Options:      []PlatformOption{WithMeasuredTime(false)}},
+		{ID: "xia", Net: xia.Net, Workers: xia.Workers(8, 4, 2),
+			NewAlgorithm: NewTimeout,
+			Options:      []PlatformOption{WithMeasuredTime(false)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := map[string][]*Order{
+		"cdc": cdc.Orders(WorkloadConfig{Orders: 30, Seed: 4}),
+		"xia": xia.Orders(WorkloadConfig{Orders: 30, Seed: 5}),
+	}
+	half := workloads["cdc"][:15]
+	for _, o := range half {
+		cp := *o
+		if err := px.Submit("cdc", &cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := px.Admin().Kill("cdc"); err != nil {
+		t.Fatal(err)
+	}
+	healed := false
+	for _, h := range px.Admin().Probe() {
+		if h.City == "cdc" {
+			if !h.Recovered || h.State != CityRunning {
+				t.Fatalf("probe did not heal: %+v", h)
+			}
+			healed = true
+		}
+	}
+	if !healed {
+		t.Fatal("probe skipped the killed city")
+	}
+	workloads["cdc"] = workloads["cdc"][15:]
+	metrics, err := px.Replay(workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 2 || metrics["cdc"] == nil || metrics["xia"] == nil {
+		t.Fatalf("per-city metrics: %v", metrics)
+	}
+	st := px.Admin().Stats()
+	if !st.Aggregate.Closed || st.Aggregate.Orders.Submitted != 60 {
+		t.Fatalf("fleet stats: %+v", st.Aggregate)
+	}
+	if st.Restarts != 1 {
+		t.Fatalf("restart count = %d", st.Restarts)
+	}
+	if _, err := px.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.Submit("cdc", half[0]); err == nil {
+		t.Fatal("closed proxy accepted traffic")
+	}
+}
