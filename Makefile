@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench lint staticcheck fmt ci benchsweep benchroute benchstream benchpool benchshard benchproxy benchgate clean
+.PHONY: build examples test race bench lint detlint staticcheck govulncheck fmt ci benchsweep benchroute benchstream benchpool benchshard benchproxy benchgate clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,20 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/detlint ./...
+
+# Determinism-contract analyzers alone (maprange/walltime/globalrand/
+# floatrange — DESIGN.md §11); lint runs them too.
+detlint:
+	$(GO) run ./cmd/detlint ./...
+
+# CI runs govulncheck with network access; locally it runs when on PATH.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
 
 # CI installs staticcheck itself; locally it runs when on PATH.
 staticcheck:
@@ -40,7 +54,7 @@ staticcheck:
 fmt:
 	gofmt -w .
 
-ci: lint staticcheck build examples test race bench
+ci: lint staticcheck govulncheck build examples test race bench
 
 # Regenerate the sequential-vs-parallel engine baseline.
 benchsweep:

@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -109,9 +110,18 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 			return nil, fmt.Errorf("scale mismatch: baseline %v vs fresh %v", bs, fs)
 		}
 	}
+	// Gate in sorted key order so the report (and the first failure CI
+	// prints) is identical run to run — the gate holds itself to the
+	// determinism bar it enforces.
+	keys := make([]string, 0, len(base))
+	for key := range base {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	var rs []gateResult
 	gated := 0
-	for key, bv := range base {
+	for _, key := range keys {
+		bv := base[key]
 		switch {
 		case strings.Contains(key, "identical"):
 			bb, ok := bv.(bool)

@@ -1,0 +1,151 @@
+// Command detlint is the multichecker for the repo's determinism
+// contract (DESIGN.md §11). It type-checks the requested packages from
+// source and runs the four detlint analyzers — maprange, walltime,
+// globalrand, floatrange — printing findings in go-vet format and
+// exiting 1 when any exist.
+//
+// Usage:
+//
+//	go run ./cmd/detlint [-json] [packages]
+//
+// Packages default to ./... relative to the enclosing module root. With
+// -json, findings are emitted as a machine-readable report on stdout
+// (CI uploads it as a workflow artifact alongside the bench reports).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"watter/internal/detlint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON report on stdout")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [-json] [packages]\n\nanalyzers:\n")
+		for _, a := range detlint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	modDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	diags, npkgs, err := lint(modDir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		report := struct {
+			Tool     string            `json:"tool"`
+			Packages int               `json:"packages"`
+			Findings []jsonFinding     `json:"findings"`
+			Clean    bool              `json:"clean"`
+			Counts   map[string]int    `json:"counts_by_analyzer"`
+			Doc      map[string]string `json:"analyzers"`
+		}{
+			Tool:     "detlint",
+			Packages: npkgs,
+			Findings: make([]jsonFinding, 0, len(diags)),
+			Clean:    len(diags) == 0,
+			Counts:   make(map[string]int),
+			Doc:      make(map[string]string),
+		}
+		for _, a := range detlint.All() {
+			report.Doc[a.Name] = a.Doc
+		}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonFinding{
+				Analyzer: d.Analyzer,
+				Pos:      relPos(modDir, d),
+				Message:  d.Message,
+			})
+			report.Counts[d.Analyzer]++
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+}
+
+// lint loads the patterns and runs the full suite, returning sorted
+// findings and the number of packages analyzed.
+func lint(modDir string, patterns []string) ([]detlint.Diagnostic, int, error) {
+	loader, err := detlint.NewLoader(modDir)
+	if err != nil {
+		return nil, 0, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, 0, err
+	}
+	var all []detlint.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := detlint.Run(pkg, detlint.All())
+		if err != nil {
+			return nil, 0, err
+		}
+		all = append(all, diags...)
+	}
+	detlint.SortDiagnostics(all)
+	return all, len(pkgs), nil
+}
+
+// relPos renders a finding position relative to the module root so
+// reports are stable across checkouts.
+func relPos(modDir string, d detlint.Diagnostic) string {
+	p := d.Pos
+	if rel, err := filepath.Rel(modDir, p.Filename); err == nil {
+		p.Filename = rel
+	}
+	return p.String()
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

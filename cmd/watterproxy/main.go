@@ -210,7 +210,10 @@ func runSeed(cities, orders, workers int, alg string, seed int64, quiet bool) se
 	journalLen := len(px.Journal())
 
 	isolation := true
-	for id, want := range standalone {
+	// Report in city definition order, not map order, so runs print (and
+	// fail) identically.
+	for _, d := range defs {
+		id, want := d.spec.ID, standalone[d.spec.ID]
 		got := strip(proxied[id])
 		if got != want {
 			isolation = false
@@ -265,7 +268,8 @@ func runSeed(cities, orders, workers int, alg string, seed int64, quiet bool) se
 	restarts := px2.Admin().Stats().Restarts
 
 	ha := true
-	for id, want := range proxied {
+	for _, d := range defs {
+		id, want := d.spec.ID, proxied[d.spec.ID]
 		if strip(healed[id]) != strip(want) {
 			ha = false
 			fmt.Fprintf(os.Stderr, "  HA DIVERGENCE %s:\n    healed: %+v\n    clean:  %+v\n", id, *healed[id], *want)

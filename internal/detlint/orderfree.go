@@ -1,0 +1,567 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// orderFree reports whether a map-range loop's body is order-insensitive
+// by construction — i.e. executing the iterations in any order provably
+// yields bit-identical program state. The classifier is deliberately
+// conservative: anything it cannot prove is reported, and the author
+// either rewrites the loop over sorted keys or justifies it with
+// //det:unordered.
+//
+// The allowed statement forms and the argument for each:
+//
+//   - integer accumulation (x++, x--, x += e, x -= e, x *= e, x |= e,
+//     x &= e, x ^= e, x &^= e): two's-complement add/sub/mul and the
+//     bitwise ops are commutative and associative, so the fold result is
+//     order-independent. Floating-point is NOT accepted — float addition
+//     does not associate; that exact shape was PR 1's nondeterminism bug
+//     and is floatrange's target.
+//   - writes keyed by the loop key (dst[k] = e): source keys are unique,
+//     so no destination entry is written twice and writes commute.
+//   - loop-invariant writes (dst[e1] = e2, x = const): colliding writes
+//     store identical values, so order cannot matter.
+//   - delete(dst, e) with pure arguments: deleting a set of keys
+//     commutes; repeated deletes are idempotent.
+//   - integer/string min-max (if x > best { best = x }): the fold
+//     computes an order-free extremum and ties carry identical values.
+//     Floats are excluded: 0.0 == -0.0 compares equal with distinct
+//     bits, so a float extremum is not bit-stable under reordering.
+//   - collect-then-sort (xs = append(xs, e) with the slice canonically
+//     sorted before its next use after the loop): the loop produces a
+//     deterministic multiset and the explicit sort fixes the order. The
+//     comparator of a SortFunc/sort.Slice variant is trusted to totally
+//     order the collected elements — that obligation is DESIGN.md §11's
+//     review checklist, a far smaller surface than the whole loop.
+//   - assignments to loop-local variables, if/switch with pure
+//     conditions, nested loops over pure operands, and bare continue:
+//     these neither read nor write state that survives an iteration in
+//     an order-dependent way.
+//
+// Everything else — unsorted appends to outer slices, function and
+// method calls, returns/breaks (they make the result depend on which
+// iteration runs first), closures, channel ops — fails the
+// classification.
+func orderFree(pass *Pass, rng *ast.RangeStmt, ancestors []ast.Node) bool {
+	if rng.Tok == token.ASSIGN {
+		// Key/value assigned to outer variables: their final value after
+		// the loop depends on iteration order.
+		return false
+	}
+	c := &classifier{pass: pass, locals: make(map[types.Object]bool)}
+	c.collectLocals(rng)
+	c.sortedLater = func(obj types.Object) bool {
+		return sortedBeforeUse(pass, c, rng, ancestors, obj)
+	}
+	return c.okStmt(rng.Body)
+}
+
+type classifier struct {
+	pass *Pass
+	// locals holds every object declared inside the loop (including the
+	// key/value variables): per-iteration state, free to mutate.
+	locals map[types.Object]bool
+	// sortedLater reports whether the slice object is canonically sorted
+	// after the loop before any other use (nil when the caller has no
+	// post-loop context, e.g. floatrange's accumulator scan).
+	sortedLater func(types.Object) bool
+}
+
+// collectLocals records every definition inside the loop body plus the
+// range key/value variables themselves.
+func (c *classifier) collectLocals(rng *ast.RangeStmt) {
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				c.locals[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				c.locals[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+func (c *classifier) okStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if !c.okStmt(st) {
+				return false
+			}
+		}
+		return true
+	case *ast.IncDecStmt:
+		return c.pure(s.X) && (c.isLocal(s.X) || c.isInteger(s.X))
+	case *ast.AssignStmt:
+		return c.okAssign(s)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if !c.pure(v) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.ExprStmt:
+		// delete(dst, k) — deletions of a key set commute and repeat
+		// idempotently.
+		if call, ok := s.X.(*ast.CallExpr); ok && c.isBuiltin(call, "delete") {
+			return c.pureAll(call.Args)
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !c.okStmt(s.Init) {
+			return false
+		}
+		if c.minMaxPattern(s) {
+			return true
+		}
+		return c.pure(s.Cond) && c.okStmt(s.Body) && c.okStmt(s.Else)
+	case *ast.SwitchStmt:
+		if s.Init != nil && !c.okStmt(s.Init) {
+			return false
+		}
+		if s.Tag != nil && !c.pure(s.Tag) {
+			return false
+		}
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CaseClause)
+			if !ok || !c.pureAll(cc.List) {
+				return false
+			}
+			for _, st := range cc.Body {
+				if !c.okStmt(st) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.RangeStmt:
+		// A nested loop is fine as long as its own body qualifies; its
+		// variables were collected as locals. (A nested *map* range is
+		// additionally examined by maprange on its own.)
+		return c.pure(s.X) && c.okStmt(s.Body)
+	case *ast.ForStmt:
+		return c.okStmt(s.Init) && (s.Cond == nil || c.pure(s.Cond)) &&
+			c.okStmt(s.Post) && c.okStmt(s.Body)
+	case *ast.BranchStmt:
+		// Filtering an iteration is order-free; break/goto/return make
+		// the outcome depend on which iteration ran first.
+		return s.Tok == token.CONTINUE && s.Label == nil
+	default:
+		return false
+	}
+}
+
+func (c *classifier) okAssign(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		return c.pureAll(s.Rhs)
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		if len(s.Lhs) != 1 || !c.pure(s.Lhs[0]) || !c.pureAll(s.Rhs) {
+			return false
+		}
+		// Local accumulators die with the iteration; outer ones must be
+		// integers so the fold commutes bit-exactly.
+		return c.isLocal(s.Lhs[0]) || c.isInteger(s.Lhs[0])
+	case token.ASSIGN:
+		if c.collectAppend(s) {
+			return true
+		}
+		if !c.pureAll(s.Rhs) {
+			return false
+		}
+		// Multi-assign: every target must independently qualify against
+		// its own RHS.
+		for i, lhs := range s.Lhs {
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			} else if i == 0 && len(s.Rhs) == 1 {
+				rhs = s.Rhs[0]
+			}
+			if !c.okAssignOne(lhs, rhs) {
+				return false
+			}
+		}
+		return true
+	default:
+		// Shifts, %=, /=: not commutative (or not associative) in general.
+		return false
+	}
+}
+
+func (c *classifier) okAssignOne(lhs, rhs ast.Expr) bool {
+	if !c.pure(lhs) {
+		return false
+	}
+	if c.isLocal(lhs) {
+		return true
+	}
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		if t := c.pass.TypesInfo.TypeOf(idx.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				// dst must not appear on the right: dst[k] = len(dst) is
+				// order-dependent even though both sides look pure.
+				dst := c.rootObj(idx.X)
+				if dst != nil && (c.refersTo(rhs, dst) || c.refersTo(idx.Index, dst)) {
+					return false
+				}
+				// Unique source keys ⇒ no write collisions.
+				if id, ok := idx.Index.(*ast.Ident); ok && c.locals[c.objOf(id)] {
+					return true
+				}
+				// Loop-invariant value ⇒ collisions store identical bits.
+				if rhs != nil && c.loopInvariant(rhs) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Writing a loop-invariant value to an outer variable (found = true):
+	// idempotent whichever iteration does it first.
+	return rhs != nil && c.loopInvariant(rhs)
+}
+
+// collectAppend recognizes `xs = append(xs, e…)` where e is pure and xs
+// is either loop-local or canonically sorted after the loop before any
+// other use (the collect-then-sort idiom).
+func (c *classifier) collectAppend(s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || !c.isBuiltin(call, "append") || len(call.Args) < 1 {
+		return false
+	}
+	if !c.pure(s.Lhs[0]) || !c.pureAll(call.Args) {
+		return false
+	}
+	if types.ExprString(call.Args[0]) != types.ExprString(s.Lhs[0]) {
+		return false
+	}
+	if c.isLocal(s.Lhs[0]) {
+		return true
+	}
+	obj := c.rootObj(s.Lhs[0])
+	return obj != nil && c.sortedLater != nil && c.sortedLater(obj)
+}
+
+// sortedBeforeUse walks outward from the range statement through its
+// ancestor blocks in execution order, looking for a canonicalizing sort
+// of obj's slice: finding a recognized sort first proves the collected
+// multiset is ordered before anything observes it; finding any other
+// reference to obj first (including re-executed statements of an
+// enclosing loop body) disproves it.
+func sortedBeforeUse(pass *Pass, c *classifier, rng *ast.RangeStmt, ancestors []ast.Node, obj types.Object) bool {
+	child := ast.Node(rng)
+	for i := len(ancestors) - 1; i >= 0; i-- {
+		parent := ancestors[i]
+		var list []ast.Stmt
+		switch p := parent.(type) {
+		case *ast.BlockStmt:
+			list = p.List
+		case *ast.CaseClause:
+			list = p.Body
+		case *ast.ForStmt, *ast.RangeStmt:
+			// Crossing an enclosing loop: everything in its body outside
+			// our subtree re-executes each iteration, so any reference to
+			// obj there observes the slice unsorted.
+			if refsOutside(c, parent, child, obj) {
+				return false
+			}
+			child = parent
+			continue
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		default:
+			child = parent
+			continue
+		}
+		idx := -1
+		for j, st := range list {
+			if ast.Node(st) == child {
+				idx = j
+				break
+			}
+		}
+		if idx >= 0 {
+			for _, st := range list[idx+1:] {
+				if isSortStmt(pass, st, obj) {
+					return true
+				}
+				if stmtRefs(c, st, obj) {
+					return false
+				}
+			}
+		}
+		child = parent
+	}
+	return false
+}
+
+// refsOutside reports whether any node of container outside the subtree
+// rooted at exclude references obj.
+func refsOutside(c *classifier, container, exclude ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(container, func(n ast.Node) bool {
+		if found || n == exclude {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && c.objOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func stmtRefs(c *classifier, st ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.objOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// canonicalSorts lists the sort calls accepted as collect-then-sort
+// canonicalizers, by package path. The *Func / *Slice variants rely on
+// their comparator totally ordering the collected elements — a reviewed
+// obligation (DESIGN.md §11), not a proven one.
+var canonicalSorts = map[string]map[string]bool{
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+	"sort":   {"Ints": true, "Strings": true, "Float64s": true, "Slice": true, "SliceStable": true},
+}
+
+// isSortStmt reports whether st is a statement-level call to a
+// recognized sort whose first argument is obj's slice.
+func isSortStmt(pass *Pass, st ast.Stmt, obj types.Object) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	names, ok := canonicalSorts[fn.Pkg().Path()]
+	if !ok || !names[fn.Name()] {
+		return false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	o := pass.TypesInfo.Uses[id]
+	if o == nil {
+		o = pass.TypesInfo.Defs[id]
+	}
+	return o == obj
+}
+
+// minMaxPattern recognizes `if a OP b { b = a }` extremum folds over
+// integer or string values (bit-stable under reordering; floats are not,
+// because ±0.0 compare equal with different bits).
+func (c *classifier) minMaxPattern(s *ast.IfStmt) bool {
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	asn, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asn.Tok != token.ASSIGN || len(asn.Lhs) != 1 || len(asn.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := asn.Lhs[0], asn.Rhs[0]
+	if !c.pure(lhs) || !c.pure(rhs) {
+		return false
+	}
+	t := c.pass.TypesInfo.TypeOf(lhs)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&(types.IsInteger|types.IsString) == 0 {
+		return false
+	}
+	l, r := types.ExprString(lhs), types.ExprString(rhs)
+	a, bb := types.ExprString(cond.X), types.ExprString(cond.Y)
+	return (l == a && r == bb) || (l == bb && r == a)
+}
+
+func (c *classifier) isLocal(e ast.Expr) bool {
+	obj := c.rootObj(e)
+	return obj != nil && c.locals[obj]
+}
+
+func (c *classifier) isInteger(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// rootObj returns the object at the base of an lvalue-ish expression
+// chain (x, x.f, x[i], *x → x's object).
+func (c *classifier) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return c.objOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *classifier) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+// refersTo reports whether expression e mentions obj.
+func (c *classifier) refersTo(e ast.Expr, obj types.Object) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.objOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// loopInvariant reports whether e mentions no loop-local object, i.e.
+// evaluates to the same value on every iteration.
+func (c *classifier) loopInvariant(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	invariant := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.objOf(id); obj != nil && c.locals[obj] {
+				invariant = false
+			}
+		}
+		return invariant
+	})
+	return invariant
+}
+
+// pure reports whether evaluating e has no side effects and calls no
+// user code: literals, variable/field/index reads, operators, slicing,
+// conversions, and the len/cap/min/max builtins.
+func (c *classifier) pure(e ast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case *ast.BasicLit, *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return c.pure(e.X)
+	case *ast.IndexExpr:
+		return c.pure(e.X) && c.pure(e.Index)
+	case *ast.SliceExpr:
+		return c.pure(e.X) && c.pure(e.Low) && c.pure(e.High) && c.pure(e.Max)
+	case *ast.BinaryExpr:
+		return c.pure(e.X) && c.pure(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op != token.ARROW && c.pure(e.X)
+	case *ast.StarExpr:
+		return c.pure(e.X)
+	case *ast.ParenExpr:
+		return c.pure(e.X)
+	case *ast.TypeAssertExpr:
+		return c.pure(e.X)
+	case *ast.CompositeLit:
+		return c.pureAll(e.Elts)
+	case *ast.KeyValueExpr:
+		return c.pure(e.Key) && c.pure(e.Value)
+	case *ast.CallExpr:
+		if tv, ok := c.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			return c.pureAll(e.Args) // conversion
+		}
+		for _, name := range []string{"len", "cap", "min", "max"} {
+			if c.isBuiltin(e, name) {
+				return c.pureAll(e.Args)
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func (c *classifier) pureAll(es []ast.Expr) bool {
+	for _, e := range es {
+		if !c.pure(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// isBuiltin reports whether call invokes the named universe builtin.
+func (c *classifier) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}

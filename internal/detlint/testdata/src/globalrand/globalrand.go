@@ -1,0 +1,35 @@
+// Package globalrandtest is globalrand's golden corpus.
+package globalrandtest
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func bad(n int) int {
+	return rand.Intn(n) // want `rand.Intn`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle`
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want `rand.Float64`
+}
+
+func badV2() uint64 {
+	return randv2.Uint64() // want `rand.Uint64`
+}
+
+// The blessed idiom: an explicitly-seeded instance threaded from a
+// Params/Config seed. Constructors and methods are legal.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func seededV2(a, b uint64) uint64 {
+	r := randv2.New(randv2.NewPCG(a, b))
+	return r.Uint64()
+}

@@ -1,0 +1,193 @@
+// Package maprangetest is maprange's golden corpus: each `want` comment
+// pins a diagnostic, every unannotated loop without one must pass.
+package maprangetest
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// --- positive cases: order leaks out of the loop ---
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map`
+		out = append(out, k)
+	}
+	return out // slice order is map iteration order
+}
+
+func sideEffects(m map[string]int) {
+	for k, v := range m { // want `range over map`
+		fmt.Println(k, v)
+	}
+}
+
+func outerWrite(m map[string]int) int {
+	last := 0
+	for _, v := range m { // want `range over map`
+		last = v // final value depends on which iteration ran last
+	}
+	return last
+}
+
+func earlyReturn(m map[string]int) (string, bool) {
+	for k := range m { // want `range over map`
+		if k != "" {
+			return k, true // picks an arbitrary element
+		}
+	}
+	return "", false
+}
+
+func stringConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `range over map`
+		s += k // concatenation does not commute
+	}
+	return s
+}
+
+func floatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map`
+		sum += v // float addition does not associate
+	}
+	return sum
+}
+
+func floatMax(m map[int]float64) float64 {
+	best := 0.0
+	for _, v := range m { // want `range over map`
+		if v > best {
+			best = v // 0.0 vs -0.0 ties are not bit-stable
+		}
+	}
+	return best
+}
+
+func readBeforeSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map`
+		out = append(out, k)
+	}
+	n := len(out) // any reference before the sort disqualifies the idiom
+	sort.Strings(out)
+	_ = n
+	return out
+}
+
+func keyedWriteVariantValue(m map[int]int, out map[int]int) {
+	for _, v := range m { // want `range over map`
+		out[v] = len(out) // colliding keys store order-dependent values
+	}
+}
+
+// --- negative cases: order-insensitive by construction ---
+
+func collectThenSort(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func collectThenSortFunc(m map[int]int) [][2]int {
+	var pairs [][2]int
+	for k, v := range m {
+		pairs = append(pairs, [2]int{k, v})
+	}
+	slices.SortFunc(pairs, func(a, b [2]int) int { return a[0] - b[0] })
+	return pairs
+}
+
+func nestedCollect(mm map[int]map[int]bool) []int {
+	var ids []int
+	for a, inner := range mm {
+		for b := range inner {
+			if b > a {
+				ids = append(ids, a*1000+b)
+			}
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func intReduction(m map[string]int) (n, total int) {
+	for _, v := range m {
+		n++
+		total += v
+	}
+	return
+}
+
+func setBuild(m map[string]int, drop string) map[string]bool {
+	set := make(map[string]bool, len(m))
+	for k := range m {
+		if k != drop {
+			set[k] = true
+		}
+	}
+	return set
+}
+
+func keyedTransform(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+func deleteKeyed(m map[int]bool, dead map[int]bool) {
+	for k := range dead {
+		delete(m, k)
+	}
+}
+
+func intMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func constFlag(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v > 10 {
+			found = true
+		}
+	}
+	return found
+}
+
+func localScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := 0
+		for _, v := range vs {
+			local += v
+		}
+		if local > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func annotated(m map[string]int) []string {
+	var out []string
+	//det:unordered appended keys feed a human-readable summary whose order is cosmetic
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package walltimetest is walltime's golden corpus.
+package walltimetest
+
+import "time"
+
+func bad() (time.Time, time.Duration) {
+	now := time.Now()            // want `time.Now`
+	d := time.Since(now)         // want `time.Since`
+	time.Sleep(time.Millisecond) // want `time.Sleep`
+	return now, d
+}
+
+func ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time.NewTicker`
+}
+
+// Pure constructors and arithmetic never touch the wall clock.
+func legal(ts float64) time.Duration {
+	d := time.Duration(ts * float64(time.Second))
+	return d.Round(time.Millisecond)
+}
+
+func annotated() time.Time {
+	//det:wallclock measured-time plumbing for an observability counter
+	return time.Now()
+}

@@ -1,0 +1,14 @@
+// Package main pins walltime's exemption: mains report real elapsed
+// time to humans and may read the wall clock freely.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	fmt.Println(time.Since(start))
+}

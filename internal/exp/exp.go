@@ -232,7 +232,7 @@ func (r *Runner) Train(p Params) *Trained {
 }
 
 func (r *Runner) train(p Params) *Trained {
-	start := time.Now()
+	start := time.Now() //det:wallclock training wall-time for the progress log line; never feeds model or simulation state
 	seed := trainSeed(p)
 	city := r.city(p.City)
 	hist := city.Orders(dataset.WorkloadConfig{
@@ -298,8 +298,9 @@ func (r *Runner) train(p Params) *Trained {
 	}
 
 	loss := trainer.Train(p.Train.TrainSteps)
+	elapsed := time.Since(start).Round(time.Millisecond) //det:wallclock elapsed goes to the progress log only
 	r.logf("[train %s] samples=%d extra-times=%d loss=%.1f elapsed=%s\n",
-		p.City.Name, trainer.ReplayLen(), len(extraTimes), loss, time.Since(start).Round(time.Millisecond))
+		p.City.Name, trainer.ReplayLen(), len(extraTimes), loss, elapsed)
 
 	return &Trained{Feat: feat, Net: trainer.Network(), Trainer: trainer, GMM: model, Theta: theta}
 }
@@ -412,11 +413,12 @@ func (r *Runner) RunOne(name string, p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //det:wallclock cell wall-time for Result.Elapsed reporting; never feeds simulation state
 	metrics, err := plat.Replay(orders)
 	if err != nil {
 		return nil, err
 	}
+	//det:wallclock Result.Elapsed is an observability field, outside per-seed metrics
 	res := &Result{Alg: name, Params: p, Metrics: metrics, Elapsed: time.Since(start)}
 	r.logf("[%s %s] n=%d m=%d tau=%.1f: %s\n", p.City.Name, name, p.Orders, p.Workers, p.TauScale, metrics)
 	return res, nil

@@ -57,7 +57,7 @@ func (r *Runner) runProxyCell(name string, p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //det:wallclock cell wall-time for Result.Elapsed reporting; never feeds simulation state
 	perCity, err := px.Replay(workloads)
 	if err != nil {
 		return nil, err
@@ -82,6 +82,7 @@ func (r *Runner) runProxyCell(name string, p Params) (*Result, error) {
 			agg.GroupSizeHist[k] += c
 		}
 	}
+	//det:wallclock Result.Elapsed is an observability field, outside per-seed metrics
 	res := &Result{Alg: name, Params: p, Metrics: &agg, Elapsed: time.Since(start)}
 	r.logf("[%s %s] cities=%d n=%d m=%d tau=%.1f: %s\n",
 		p.City.Name, name, p.NumCities, p.Orders, p.Workers, p.TauScale, &agg)

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"sort"
+
 	"watter/internal/stats"
 )
 
@@ -26,8 +28,13 @@ func (r *Runner) RunSeeds(name string, p Params, seeds []int64) (MetricSummaries
 		series["running_time"] = append(series["running_time"], m.RunningTime())
 	}
 	out := make(MetricSummaries, len(series))
-	for k, xs := range series {
-		out[k] = stats.Summarize(xs)
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out[k] = stats.Summarize(series[k])
 	}
 	return out, nil
 }

@@ -185,7 +185,7 @@ func (sr *SweepRunner) Run(m Matrix) (*SweepResult, error) {
 		return &SweepResult{}, nil
 	}
 	results := make([]*Result, len(jobs))
-	start := time.Now()
+	start := time.Now() //det:wallclock harness-side sweep timing, reported as SweepResult.Elapsed; never feeds simulation state
 	err := sr.forEach(len(jobs), func(i int) error {
 		res, err := sr.Runner.RunOne(jobs[i].Alg, jobs[i].P)
 		if err != nil {
@@ -201,7 +201,7 @@ func (sr *SweepRunner) Run(m Matrix) (*SweepResult, error) {
 		Jobs:    jobs,
 		Results: results,
 		Cells:   aggregateCells(jobs, results),
-		Elapsed: time.Since(start),
+		Elapsed: time.Since(start), //det:wallclock observability field on the sweep report, outside per-seed metrics
 	}, nil
 }
 

@@ -2,11 +2,13 @@ package platform
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"watter/internal/core"
 	"watter/internal/pool"
 	"watter/internal/roadnet"
+	"watter/internal/shard"
 	"watter/internal/sim"
 	"watter/internal/strategy"
 )
@@ -268,5 +270,166 @@ func TestStatsMerge(t *testing.T) {
 	}
 	if agg.PoolCache.Hits != 7 || !agg.PoolCacheActive || agg.Shard.GroupHits != 3 || !agg.ShardActive {
 		t.Fatalf("subsystem fold wrong: %+v", agg)
+	}
+}
+
+// TestStatsMergeZeroValue pins the fold's edge semantics around the
+// zero-value snapshot. The zero Stats is NOT a Merge identity: its
+// Closed=false represents a member that is still running, so folding it
+// into a closed aggregate must reopen the aggregate (closed only when
+// every member is closed). Everything else — counters, clock, flags —
+// must pass through unchanged.
+func TestStatsMergeZeroValue(t *testing.T) {
+	a := Stats{Clock: 50, Closed: true, Paused: true,
+		Orders: OrderCounts{Submitted: 9, Served: 6, Rejected: 2, Pending: 1}}
+	a.ShardActive = true
+	a.Shard.Ticks = 4
+	a.PoolCacheActive = true
+	a.PoolCache.Hits = 3
+
+	got := a
+	got.Merge(Stats{})
+	want := a
+	want.Closed = false // zero member is "still running"
+	if got != want {
+		t.Fatalf("Merge(zero) = %+v, want %+v", got, want)
+	}
+
+	// Folding the other way: a zero aggregate absorbing a member keeps
+	// Closed false for the same reason and copies everything else.
+	got = Stats{}
+	got.Merge(a)
+	if got != want {
+		t.Fatalf("zero.Merge(a) = %+v, want %+v", got, want)
+	}
+}
+
+// TestStatsMergeClockAndFlags pins the non-additive folds: Clock is a
+// max in both directions, Closed is an AND, Paused is an OR, and the
+// subsystem-active flags OR (a fleet with one sharded city reports
+// sharding active; a fleet with none does not).
+func TestStatsMergeClockAndFlags(t *testing.T) {
+	newer := Stats{Clock: 90, Closed: true}
+	older := Stats{Clock: 30, Closed: true}
+	x := newer
+	x.Merge(older)
+	if x.Clock != 90 {
+		t.Fatalf("max(90, 30) clock = %v", x.Clock)
+	}
+	y := older
+	y.Merge(newer)
+	if y.Clock != 90 {
+		t.Fatalf("max(30, 90) clock = %v", y.Clock)
+	}
+	if !x.Closed || !y.Closed {
+		t.Fatal("all-closed fleet must fold to Closed")
+	}
+	if x.Paused || y.Paused {
+		t.Fatal("no-paused fleet must fold to not Paused")
+	}
+
+	inactive := Stats{}
+	inactive.Merge(Stats{})
+	if inactive.ShardActive || inactive.PoolCacheActive {
+		t.Fatalf("inactive+inactive claims subsystems: %+v", inactive)
+	}
+	one := Stats{ShardActive: true}
+	one.Merge(Stats{PoolCacheActive: true})
+	if !one.ShardActive || !one.PoolCacheActive {
+		t.Fatalf("active flags must OR: %+v", one)
+	}
+}
+
+// TestStatsMergeCoversEveryCounter self-merges a snapshot whose every
+// numeric field holds a distinct value and checks each one exactly
+// doubled (Clock, a max, stays put). Adding a counter to shard.Stats or
+// pool.CacheStats without extending Merge fails here — the field would
+// come back un-doubled.
+func TestStatsMergeCoversEveryCounter(t *testing.T) {
+	var s Stats
+	n := int64(1)
+	var fill func(v reflect.Value)
+	fill = func(v reflect.Value) {
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			switch f.Kind() {
+			case reflect.Struct:
+				fill(f)
+			case reflect.Int:
+				f.SetInt(n)
+				n++
+			case reflect.Uint64:
+				f.SetUint(uint64(n))
+				n++
+			}
+		}
+	}
+	fill(reflect.ValueOf(&s).Elem())
+	s.Clock = 41.5
+
+	d := s
+	d.Merge(s)
+	var check func(path string, orig, merged reflect.Value)
+	check = func(path string, orig, merged reflect.Value) {
+		for i := 0; i < orig.NumField(); i++ {
+			name := path + "." + orig.Type().Field(i).Name
+			o, m := orig.Field(i), merged.Field(i)
+			switch o.Kind() {
+			case reflect.Struct:
+				check(name, o, m)
+			case reflect.Int:
+				if m.Int() != 2*o.Int() {
+					t.Errorf("%s = %d after self-merge, want %d — field missing from Merge?",
+						name, m.Int(), 2*o.Int())
+				}
+			case reflect.Uint64:
+				if m.Uint() != 2*o.Uint() {
+					t.Errorf("%s = %d after self-merge, want %d — field missing from Merge?",
+						name, m.Uint(), 2*o.Uint())
+				}
+			}
+		}
+	}
+	check("Stats", reflect.ValueOf(s), reflect.ValueOf(d))
+	if d.Clock != s.Clock {
+		t.Errorf("Clock = %v after self-merge, want unchanged %v (max, not sum)", d.Clock, s.Clock)
+	}
+}
+
+// TestStatsInactiveSubsystems pins Platform.Stats on platforms whose
+// algorithm exposes no shard engine and no pool: the flags must read
+// inactive with genuinely zero counters, and a K=1 pooled platform must
+// report the pool cache active but sharding inactive.
+func TestStatsInactiveSubsystems(t *testing.T) {
+	net := roadnet.NewGridCity(8, 8, 100, 10)
+
+	p, err := New(net, testFleet(net, 1), WithAlgorithm(stub{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.ShardActive || st.PoolCacheActive {
+		t.Fatalf("stub platform claims subsystems: %+v", st)
+	}
+	if st.Shard != (shard.Stats{}) || st.PoolCache != (pool.CacheStats{}) {
+		t.Fatalf("inactive subsystems must report zero counters: %+v", st)
+	}
+
+	solo, err := New(net, testFleet(net, 1), WithMeasuredTime(false),
+		WithAlgorithm(core.New(strategy.Online{}, pool.DefaultOptions())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The framework builds its pool lazily at algorithm init, so drive
+	// one order through before reading the snapshot.
+	if err := solo.Submit(testOrder(net, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	st = solo.Stats()
+	if st.ShardActive {
+		t.Fatalf("K=1 platform claims a shard engine: %+v", st)
+	}
+	if !st.PoolCacheActive {
+		t.Fatalf("pooled K=1 platform must expose its plan cache: %+v", st)
 	}
 }

@@ -310,6 +310,7 @@ func (p *Pool) ExpireEdges(now float64) (expiredOrders []int) {
 		touched[d.a] = true
 		touched[d.b] = true
 	}
+	//det:unordered touched writes are keyed by the loop key with a constant value, Expired reads only the order's own deadline, and expiredOrders is sorted before use below
 	for id, n := range p.nodes {
 		if n.best != nil && n.bestExpiry < now {
 			touched[id] = true
@@ -465,6 +466,7 @@ func (p *Pool) refreshBest(id int, now float64) {
 	// shares) its winning clique's group exactly once. Map iteration order
 	// is irrelevant — entries are per-member and group materialization is
 	// a pure function of the entry.
+	//det:unordered each member's best/bestExpiry is written once from its own entry, and groupFor is a pure function of (entry, now)
 	for mid, st := range p.improve {
 		if st.ent == nil {
 			continue

@@ -506,3 +506,30 @@ func TestCoordinatedTick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReplayUnknownCityDeterministic pins a fixed map-iteration leak:
+// when the workload map names several cities the proxy does not own,
+// Replay must always report the alphabetically first of them, not
+// whichever one map iteration happened to surface. The repeated runs
+// give Go's randomized map order every chance to expose a regression.
+func TestReplayUnknownCityDeterministic(t *testing.T) {
+	specs, workloads := threeCities(7, algFactories["online"])
+	for _, id := range []string{"zz-city", "mm-city", "aa-city"} {
+		workloads[id] = nil
+	}
+	const want = `proxy: unknown city: "aa-city"`
+	for i := 0; i < 20; i++ {
+		x, err := New(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = x.Replay(workloads)
+		if !errors.Is(err, ErrUnknownCity) {
+			t.Fatalf("iteration %d: err = %v, want ErrUnknownCity", i, err)
+		}
+		if err.Error() != want {
+			t.Fatalf("iteration %d: err = %q, want %q — unknown-city selection depends on map order",
+				i, err.Error(), want)
+		}
+	}
+}

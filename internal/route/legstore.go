@@ -1,6 +1,8 @@
 package route
 
 import (
+	"slices"
+
 	"watter/internal/geo"
 	"watter/internal/order"
 	"watter/internal/roadnet"
@@ -94,11 +96,24 @@ func (s *LegStore) Evict(orderID int) {
 // the fills counter follows the blocks so accounting matches a sequential
 // fill. The other store must not be used afterwards.
 func (s *LegStore) Adopt(other *LegStore) {
-	for key, blk := range other.blocks {
+	// Adopt in (lo, hi) order: the byOrder index slices then grow in the
+	// same order however the shard scheduler interleaved the task stores,
+	// keeping even internal state bit-stable across runs.
+	keys := make([]pairKey, 0, len(other.blocks))
+	for key := range other.blocks {
+		keys = append(keys, key)
+	}
+	slices.SortFunc(keys, func(a, b pairKey) int {
+		if a.lo != b.lo {
+			return a.lo - b.lo
+		}
+		return a.hi - b.hi
+	})
+	for _, key := range keys {
 		if _, ok := s.blocks[key]; ok {
 			continue
 		}
-		s.blocks[key] = blk
+		s.blocks[key] = other.blocks[key]
 		s.byOrder[key.lo] = append(s.byOrder[key.lo], key)
 		s.byOrder[key.hi] = append(s.byOrder[key.hi], key)
 		s.fills++

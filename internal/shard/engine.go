@@ -362,6 +362,7 @@ func (e *Engine) SoloProbe(id int, budget float64) (*order.Worker, float64, bool
 // ascending (OrderIDs' contract), so membership is a binary search.
 func (e *Engine) pruneSolo() {
 	for _, memo := range e.solo {
+		//det:unordered deletes are keyed by the loop key and containsSorted is a pure binary search over the sorted ids snapshot
 		for id := range memo {
 			if !containsSorted(e.ids, id) {
 				delete(memo, id)

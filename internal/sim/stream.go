@@ -121,8 +121,9 @@ func (s *Stream) timed(fn func()) {
 		fn()
 		return
 	}
-	start := time.Now()
+	start := time.Now() //det:wallclock opt-in measured-time plumbing behind MeasureTime (platform.WithMeasuredTime)
 	fn()
+	//det:wallclock DecisionSeconds is the one documented wall-clock Metrics field, excluded from every bit-identity comparison
 	s.env.Metrics.DecisionSeconds += time.Since(start).Seconds()
 }
 
