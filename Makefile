@@ -30,8 +30,10 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/detlint ./...
 
-# Determinism-contract analyzers alone (maprange/walltime/globalrand/
-# floatrange — DESIGN.md §11); lint runs them too.
+# Determinism-contract analyzers alone: the syntactic four (maprange/
+# walltime/globalrand/floatrange — DESIGN.md §11) plus the
+# interprocedural three (specpure/hotalloc/goroutinewrite — §12);
+# lint runs them too.
 detlint:
 	$(GO) run ./cmd/detlint ./...
 

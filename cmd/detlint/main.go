@@ -1,16 +1,19 @@
 // Command detlint is the multichecker for the repo's determinism
-// contract (DESIGN.md §11). It type-checks the requested packages from
-// source and runs the four detlint analyzers — maprange, walltime,
-// globalrand, floatrange — printing findings in go-vet format and
-// exiting 1 when any exist.
+// contract (DESIGN.md §11–§12). It type-checks the requested packages
+// from source and runs the detlint analyzers — maprange, walltime,
+// globalrand, floatrange, and the interprocedural specpure, hotalloc,
+// goroutinewrite — printing findings in go-vet format and exiting 1
+// when any exist.
 //
 // Usage:
 //
-//	go run ./cmd/detlint [-json] [packages]
+//	go run ./cmd/detlint [-json] [-annotations] [packages]
 //
 // Packages default to ./... relative to the enclosing module root. With
 // -json, findings are emitted as a machine-readable report on stdout
 // (CI uploads it as a workflow artifact alongside the bench reports).
+// With -annotations, the tool instead prints an inventory of every
+// //det: tag in the tree (location, tag, justification) and exits 0.
 package main
 
 import (
@@ -25,10 +28,11 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON report on stdout")
+	annotations := flag.Bool("annotations", false, "print an inventory of every //det: tag in the tree and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [-json] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [-json] [-annotations] [packages]\n\nanalyzers:\n")
 		for _, a := range detlint.All() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
@@ -42,6 +46,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "detlint:", err)
 		os.Exit(2)
+	}
+	if *annotations {
+		if err := printAnnotations(modDir, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			os.Exit(2)
+		}
+		return
 	}
 	diags, npkgs, err := lint(modDir, patterns)
 	if err != nil {
@@ -100,6 +111,34 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
+// printAnnotations renders the //det: inventory (sorted, module-relative)
+// as text or JSON.
+func printAnnotations(modDir string, jsonOut bool) error {
+	recs, err := detlint.CollectAnnotations(modDir)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		report := struct {
+			Tool        string                     `json:"tool"`
+			Annotations []detlint.AnnotationRecord `json:"annotations"`
+			Count       int                        `json:"count"`
+		}{Tool: "detlint-annotations", Annotations: recs, Count: len(recs)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	for _, r := range recs {
+		reason := r.Reason
+		if reason == "" {
+			reason = "(bare — fails the annotation audit)"
+		}
+		fmt.Printf("%s:%d: //det:%s %s\n", r.File, r.Line, r.Tag, reason)
+	}
+	fmt.Fprintf(os.Stderr, "detlint: %d annotation(s)\n", len(recs))
+	return nil
+}
+
 // lint loads the patterns and runs the full suite, returning sorted
 // findings and the number of packages analyzed.
 func lint(modDir string, patterns []string) ([]detlint.Diagnostic, int, error) {
@@ -111,9 +150,12 @@ func lint(modDir string, patterns []string) ([]detlint.Diagnostic, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	// One effects Program over every loaded package, so specpure and
+	// hotalloc see cross-package calls and CHA targets.
+	prog := detlint.NewProgram(pkgs)
 	var all []detlint.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := detlint.Run(pkg, detlint.All())
+		diags, err := detlint.RunWith(pkg, detlint.All(), prog)
 		if err != nil {
 			return nil, 0, err
 		}

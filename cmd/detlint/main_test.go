@@ -55,18 +55,47 @@ func FloatFold(m map[int]float64) float64 {
 	return sum
 }
 `)
+	write("effects/effects.go", `package effects
+
+var hits int
+
+//det:specroot speculation must not touch shared state
+func Speculate(id int) {
+	record(id)
+}
+
+func record(id int) {
+	hits = id
+}
+
+//det:hotpath steady-state dispatch must not allocate
+func HotLookup(n int) []int {
+	return make([]int, n)
+}
+
+func RacyLaunch() int {
+	x := 0
+	go func() {
+		x++
+	}()
+	return x
+}
+`)
 	diags, npkgs, err := lint(dir, []string{"./..."})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if npkgs != 1 {
-		t.Fatalf("analyzed %d packages, want 1", npkgs)
+	if npkgs != 2 {
+		t.Fatalf("analyzed %d packages, want 2", npkgs)
 	}
 	got := make(map[string]int)
 	for _, d := range diags {
 		got[d.Analyzer]++
 	}
-	for _, name := range []string{"maprange", "walltime", "globalrand", "floatrange"} {
+	for _, name := range []string{
+		"maprange", "walltime", "globalrand", "floatrange",
+		"specpure", "hotalloc", "goroutinewrite",
+	} {
 		if got[name] == 0 {
 			t.Errorf("injected %s violation not detected; findings: %v", name, diags)
 		}

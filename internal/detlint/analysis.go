@@ -19,6 +19,18 @@
 //	             flagged even when the loop is annotated //det:unordered,
 //	             because a float fold is never order-insensitive; the only
 //	             escape is an explicit //det:floatfold annotation.
+//
+// The interprocedural layer (effects.go, DESIGN.md §12) adds write-effect
+// summaries over a CHA call graph and three more analyzers:
+//
+//	specpure      — everything reachable from a //det:specroot must be
+//	                write-free outside //det:scratch types; escape with
+//	                //det:specwrite <reason>.
+//	hotalloc      — //det:hotpath functions must reach no allocation
+//	                sites; escape with //det:hotalloc <reason>.
+//	goroutinewrite — go-launched closures must not write captured
+//	                variables without a sync primitive or channel
+//	                handoff; no annotation escape.
 package detlint
 
 import (
@@ -42,7 +54,7 @@ type Analyzer struct {
 
 // All returns the full detlint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRange, WallTime, GlobalRand, FloatRange}
+	return []*Analyzer{MapRange, WallTime, GlobalRand, FloatRange, SpecPure, HotAlloc, GoroutineWrite}
 }
 
 // A Pass provides one analyzer run with a single type-checked package,
@@ -56,6 +68,10 @@ type Pass struct {
 	// Annot indexes //det: annotations by file line (a detlint extension;
 	// x/tools analyzers would re-derive this from File.Comments).
 	Annot *Annotations
+	// Prog is the whole-module effects program (effects.go) shared by the
+	// interprocedural analyzers; Run builds a single-package one when the
+	// caller has no wider view.
+	Prog *Program
 
 	report func(Diagnostic)
 }
@@ -84,8 +100,16 @@ func (d Diagnostic) String() string {
 }
 
 // Run applies every analyzer in suite to pkg and returns the findings in
-// file/line order.
+// file/line order, building a single-package effects Program. Callers
+// holding several packages should build one Program and use RunWith so
+// the interprocedural analyzers see cross-package calls.
 func Run(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
+	return RunWith(pkg, suite, NewProgram([]*Package{pkg}))
+}
+
+// RunWith applies every analyzer in suite to pkg against a shared
+// whole-module Program.
+func RunWith(pkg *Package, suite []*Analyzer, prog *Program) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range suite {
 		pass := &Pass{
@@ -95,6 +119,7 @@ func Run(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			Annot:     pkg.Annot,
+			Prog:      prog,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {

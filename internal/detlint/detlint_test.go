@@ -25,6 +25,10 @@ func TestWallTimeGolden(t *testing.T)   { runGolden(t, WallTime, "walltime") }
 func TestGlobalRandGolden(t *testing.T) { runGolden(t, GlobalRand, "globalrand") }
 func TestFloatRangeGolden(t *testing.T) { runGolden(t, FloatRange, "floatrange") }
 
+func TestSpecPureGolden(t *testing.T)       { runGolden(t, SpecPure, "specpure") }
+func TestHotAllocGolden(t *testing.T)       { runGolden(t, HotAlloc, "hotalloc") }
+func TestGoroutineWriteGolden(t *testing.T) { runGolden(t, GoroutineWrite, "goroutinewrite") }
+
 // TestWallTimeMainExempt pins the package-main exemption: the same calls
 // that fail in a library package are legal in a main.
 func TestWallTimeMainExempt(t *testing.T) {
@@ -91,6 +95,7 @@ func analyze(t *testing.T, a *Analyzer, pkgdir string) []Diagnostic {
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
 	}
 	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
 	tpkg, err := conf.Check(pkgdir, fset, files, info)

@@ -1,0 +1,127 @@
+package detlint
+
+// goroutinewrite flags `go`-launched closures that write variables
+// captured from the enclosing scope with no synchronization discipline
+// visible in the closure body — the classic shape of a data race that
+// -race only catches when the schedule cooperates. Like globalrand,
+// there is no annotation escape: the fix is a channel handoff, a sync
+// primitive, or not sharing the variable.
+//
+// Heuristic exemption: a closure whose body performs a channel
+// operation (send, receive, select, range over a channel) or calls into
+// package sync (WaitGroup.Done, Mutex.Lock, Once.Do, …) is assumed to
+// order its captured writes behind that primitive. The analyzer proves
+// the absence of obviously-unsynchronized writes, not the presence of a
+// correct protocol — the race detector remains the runtime gate.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineWrite reports unsynchronized writes to captured variables in
+// go-launched closures.
+var GoroutineWrite = &Analyzer{
+	Name: "goroutinewrite",
+	Doc:  "go-launched closures must not write captured variables without a sync primitive or channel handoff (no annotation escape)",
+	Run:  runGoroutineWrite,
+}
+
+func runGoroutineWrite(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(nd ast.Node) bool {
+			gs, ok := nd.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoClosure(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoClosure(pass *Pass, lit *ast.FuncLit) {
+	if closureSynchronizes(pass, lit) {
+		return
+	}
+	report := func(id *ast.Ident) {
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || pkgScoped(v) {
+			return
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return // declared inside the closure
+		}
+		pass.Reportf(id.Pos(),
+			"go-launched closure writes captured variable %s without a sync primitive or channel handoff; pass the result over a channel or guard it (no annotation escape)",
+			v.Name())
+	}
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			if x != lit {
+				return false // nested closures are not go-launched here
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					report(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := unparen(x.X).(*ast.Ident); ok {
+				report(id)
+			}
+		}
+		return true
+	})
+}
+
+// closureSynchronizes reports whether the closure body contains a
+// channel operation or a call into package sync.
+func closureSynchronizes(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := nd.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := pass.TypesInfo.Types[x.X]; ok && t.Type != nil {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					found = true // close(ch) publishes to the receiver
+				}
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if s := pass.TypesInfo.Selections[sel]; s != nil {
+					if fn, ok := s.Obj().(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+						found = true
+					}
+				} else if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+					if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

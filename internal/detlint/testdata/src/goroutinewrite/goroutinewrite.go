@@ -1,0 +1,58 @@
+// Package goroutinewrite exercises the captured-write race analyzer:
+// unsynchronized writes flag, channel handoffs and sync-package calls
+// exempt, and there is no annotation escape.
+package goroutinewrite
+
+import "sync"
+
+func unsynchronized() int {
+	x := 0
+	go func() {
+		x = 1 // want `go-launched closure writes captured variable x`
+		x++   // want `go-launched closure writes captured variable x`
+	}()
+	return x
+}
+
+func viaChannel() int {
+	x := 0
+	done := make(chan struct{})
+	go func() {
+		x = 1 // ordered behind the channel send: exempt
+		done <- struct{}{}
+	}()
+	<-done
+	return x
+}
+
+func viaWaitGroup(results []int) {
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = i // wg.Done in body: exempt
+		}(i)
+	}
+	wg.Wait()
+}
+
+func localOnly() {
+	go func() {
+		y := 0
+		y++ // declared inside the closure: not captured
+		_ = y
+	}()
+}
+
+func nestedNotLaunched() {
+	x := 0
+	go func() {
+		inner := func() {
+			x = 2 // nested closure is not the go-launched body: skipped
+		}
+		_ = inner
+		x = 1 // want `go-launched closure writes captured variable x`
+	}()
+	_ = x
+}

@@ -1,0 +1,57 @@
+// Package hotalloc exercises the hot-path allocation analyzer: direct
+// sites, interprocedural propagation, amortized pooled-buffer appends,
+// capturing closures, interface boxing, and the //det:hotalloc escape.
+package hotalloc
+
+type pool struct {
+	buf  []int
+	keys []string
+}
+
+type boxer interface{ Take(v any) }
+
+//det:hotpath steady-state maintenance must not allocate
+func (p *pool) refresh(n int) {
+	p.buf = append(p.buf[:0], n) // pooled buffer: amortized, allowed
+	s := make([]int, n)          // want `allocation on hot path`
+	_ = s
+	p.helper(n)
+	m := map[int]int{} // want `allocation on hot path`
+	_ = m
+	f := func() int { return n } // want `allocation on hot path`
+	_ = f()
+}
+
+// helper is not itself hotpath; its allocation surfaces at the hotpath
+// caller, positioned here.
+func (p *pool) helper(n int) {
+	q := new(pool) // want `allocation on hot path`
+	_ = q
+	//det:hotalloc preallocated once per resize epoch, amortized to zero
+	big := make([]int, n)
+	_ = big
+	var acc []string
+	acc = append(acc, "k") // want `allocation on hot path`
+	p.keys = acc
+}
+
+//det:hotpath boxing a concrete value into an interface allocates
+func (p *pool) feed(b boxer, n int) {
+	b.Take(n) // want `allocation on hot path`
+}
+
+// cold is fully excused at the declaration: a cache-miss path.
+//
+//det:hotalloc cold miss path, runs once per new key
+func (p *pool) cold(n int) []int {
+	return make([]int, n)
+}
+
+//det:hotpath excused callees must stay silent
+func (p *pool) callsCold(n int) {
+	_ = p.cold(n)
+}
+
+type sink struct{}
+
+func (sink) Take(v any) {}

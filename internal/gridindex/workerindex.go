@@ -42,6 +42,8 @@ type WorkerIndex struct {
 }
 
 // probeScratch is the per-caller buffer set of one ring search.
+//
+//det:scratch private ring-search buffers, one set per querying goroutine
 type probeScratch struct {
 	candBuf []*order.Worker
 	locBuf  []geo.NodeID
@@ -123,6 +125,7 @@ func (wi *WorkerIndex) ringCosts(sc *probeScratch, node geo.NodeID, maxCost floa
 		sc.locBuf = append(sc.locBuf, w.Loc)
 	}
 	if cap(sc.costBuf) < len(sc.locBuf) {
+		//det:hotalloc grows the scratch cost row once per ring-size high-water mark
 		sc.costBuf = make([]float64, len(sc.locBuf))
 	}
 	sc.costBuf = sc.costBuf[:len(sc.locBuf)]
@@ -160,6 +163,8 @@ func (wi *WorkerIndex) ClosestIdleWithin(node geo.NodeID, now float64, minCapaci
 // whether a dispatch could have changed this search's outcome (a search is
 // only affected by workers entering, leaving or changing state inside a
 // visited cell).
+//
+//det:hotpath the budgeted ring search backs every dispatch probe and every speculation; buffers come from the caller's scratch
 func (wi *WorkerIndex) closestIdleWithin(node geo.NodeID, now float64, minCapacity int, maxCost float64, sc *probeScratch, scan *[]int32) (*order.Worker, float64) {
 	center := wi.ix.CellOf(node)
 	var best *order.Worker
@@ -169,6 +174,7 @@ func (wi *WorkerIndex) closestIdleWithin(node geo.NodeID, now float64, minCapaci
 	seen := 0 // workers encountered (any state); == Len() means later rings are empty
 	for d := 0; d <= maxD; d++ {
 		sc.candBuf = sc.candBuf[:0]
+		//det:hotalloc non-escaping ring visitor, stack-allocated because Ring only invokes it inline
 		wi.ix.Ring(center, d, func(cell int) bool {
 			if scan != nil {
 				*scan = append(*scan, int32(cell))
@@ -216,6 +222,8 @@ func (wi *WorkerIndex) closestIdleWithin(node geo.NodeID, now float64, minCapaci
 // each other and against nothing else — the index must not be mutated while
 // any reader is in flight). Each probe also records the cells it visited,
 // which is exactly the dependency footprint of its answer.
+//
+//det:scratch reader-private probe state, never shared across goroutines
 type ProbeReader struct {
 	wi   *WorkerIndex
 	sc   probeScratch
@@ -231,6 +239,8 @@ func (wi *WorkerIndex) NewReader() *ProbeReader {
 // WorkerIndex.ClosestIdleWithin and additionally returns the cells the
 // search visited. The returned slice is the reader's scratch, valid until
 // its next probe.
+//
+//det:specroot concurrent probes must write only their reader's own scratch
 func (r *ProbeReader) ClosestIdleWithin(node geo.NodeID, now float64, minCapacity int, maxCost float64) (*order.Worker, float64, []int32) {
 	r.scan = r.scan[:0]
 	w, cost := r.wi.closestIdleWithin(node, now, minCapacity, maxCost, &r.sc, &r.scan)
@@ -257,6 +267,7 @@ func (wi *WorkerIndex) KNearest(node geo.NodeID, k int, pred func(*order.Worker)
 	sc := &wi.sc
 	for d := 0; d <= wi.ix.N(); d++ {
 		sc.candBuf = sc.candBuf[:0]
+		//det:hotalloc non-escaping ring visitor, stack-allocated because Ring only invokes it inline
 		wi.ix.Ring(center, d, func(cell int) bool {
 			seen += len(wi.cells[cell])
 			for _, w := range wi.cells[cell] {

@@ -61,6 +61,8 @@ func (s CacheStats) HitRate() float64 {
 // planEntry memoizes one member set's route DP outcome. members and svc are
 // in canonical (ascending-ID) order; group is materialized lazily, only
 // when the clique actually wins some order's best-group race.
+//
+//det:scratch entries are written only by their constructing goroutine before cacheInsert publishes them
 type planEntry struct {
 	members  []*order.Order
 	svc      []float64 // per-member service times T(L(i))
@@ -90,6 +92,8 @@ func newPlanCache() *planCache {
 
 // memberKey renders the canonical member signature into the pool's reusable
 // key buffer. The returned bytes are valid until the next call.
+//
+//det:hotpath runs once per cache probe inside the clique enumeration and reuses the pool's key buffer
 func (p *Pool) memberKey(members []*order.Order) []byte {
 	b := p.keyBuf[:0]
 	for _, o := range members {

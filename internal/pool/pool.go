@@ -352,6 +352,8 @@ func (p *Pool) candidates(n *node) []int {
 
 // candidatesAt is candidates keyed by cell, usable before the order has a
 // node (the sharded engine's insert prewarm runs it pre-Insert).
+//
+//det:hotpath spatial prefilter runs per insert and per refresh; candidates fill the pooled buffer
 func (p *Pool) candidatesAt(cell, selfID int) []int {
 	out := p.candBuf[:0]
 	if p.opt.CandidateRadius < 0 {
@@ -362,6 +364,7 @@ func (p *Pool) candidatesAt(cell, selfID int) []int {
 		}
 	} else {
 		for d := 0; d <= p.opt.CandidateRadius; d++ {
+			//det:hotalloc non-escaping ring visitor, stack-allocated because Ring only invokes it inline
 			p.ix.Ring(cell, d, func(c int) bool {
 				for _, id := range p.cells[c] {
 					if id != selfID {
@@ -384,6 +387,8 @@ func (p *Pool) candidatesAt(cell, selfID int) []int {
 // tie-breaks, the cache key and the extra-time accumulation order all
 // agree, whichever node's refresh reached the set first. Valid until the
 // next canonical call.
+//
+//det:hotpath canonicalization guards every plan request; the insertion sort reuses pooled scratch
 func (p *Pool) canonical(members ...*order.Order) []*order.Order {
 	buf := p.canonBuf[:0]
 	buf = append(buf, members...)

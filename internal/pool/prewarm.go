@@ -55,6 +55,7 @@ func (p *Pool) PrewarmPairs(o *order.Order, now float64, exec Exec) {
 	tasks := make([]func(), len(jobs))
 	for i := range jobs {
 		j := &jobs[i]
+		//det:specroot each prewarm task runs on a shard goroutine and may only fill its own job slot
 		tasks[i] = func() {
 			j.ent.cost, j.ent.expiry, j.ent.feasible = p.planner.PlanGroupCost(
 				j.ent.members, now, p.opt.Capacity, j.legs, j.ent.svc)

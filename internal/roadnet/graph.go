@@ -259,6 +259,11 @@ func (g *Graph) Path(from, to geo.NodeID) []geo.NodeID {
 	return rev
 }
 
+// source returns the cached full-SSSP entry for one source node,
+// computing it on first use.
+//
+//det:hotalloc cache-miss path; pinned and warmed graphs answer from the resident entry without allocating
+//det:specwrite mutex-guarded memo of a pure function of the immutable graph; the distances read back are bit-identical no matter which goroutine populated the entry or in what order
 func (g *Graph) source(from geo.NodeID) *distEntry {
 	g.mu.Lock()
 	slot, ok := g.cache[from]
@@ -299,6 +304,7 @@ func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
 func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
 
+//det:hotalloc full SSSP runs once per cache-missed source; its arrays live in the cache afterwards
 func (g *Graph) dijkstra(src geo.NodeID) (dist []float32, prev []geo.NodeID) {
 	n := len(g.coords)
 	dist = make([]float32, n)

@@ -98,6 +98,7 @@ type ppScratch struct {
 	colIdx  []int        // output column -> uniq index
 }
 
+//det:hotalloc pool miss or first query after a graph grows; steady state reuses pooled arrays
 func (g *Graph) getScratch() *ppScratch {
 	sc, _ := g.ppPool.Get().(*ppScratch)
 	if sc == nil {
@@ -153,7 +154,9 @@ func (g *Graph) CostPP(from, to geo.NodeID) float64 {
 		return g.costSSSP(from, to)
 	}
 	sc := g.getScratch()
+	//det:hotalloc pooled scratch retains capacity across queries; these appends grow it only on first use
 	sc.uniq = append(sc.uniq[:0], to)
+	//det:hotalloc pooled scratch retains capacity across queries; grows only on first use
 	sc.res = append(sc.res[:0], 0)
 	sc.newTargetEpoch()
 	g.searchFrom(sc, from, math.Inf(1))
@@ -166,6 +169,8 @@ func (g *Graph) CostPP(from, to geo.NodeID) float64 {
 // out[i][j] = Cost(sources[i], targets[j]) with one pruned multi-target
 // search per distinct source. This is the batched API the route planner's
 // leg matrix and the worker index's candidate rings are built on.
+//
+//det:hotalloc allocating public matrix API; hot callers go through FillCostMatrix, whose matrixFiller branch fills a caller-owned buffer instead
 func (g *Graph) CostMatrix(sources, targets []geo.NodeID) [][]float64 {
 	out := make([][]float64, len(sources))
 	if len(targets) == 0 {
@@ -212,11 +217,14 @@ func (g *Graph) costMatrixInto(sources, targets []geo.NodeID, maxCost float64, o
 		}
 		if slot < 0 {
 			slot = len(sc.uniq)
+			//det:hotalloc pooled scratch retains capacity across queries; grows only on first use
 			sc.uniq = append(sc.uniq, t)
 		}
+		//det:hotalloc pooled scratch retains capacity across queries; grows only on first use
 		sc.colIdx = append(sc.colIdx, slot)
 	}
 	if cap(sc.res) < len(sc.uniq) {
+		//det:hotalloc grows the pooled result row once per high-water target count
 		sc.res = make([]float64, len(sc.uniq))
 	}
 	sc.res = sc.res[:len(sc.uniq)]
@@ -256,6 +264,7 @@ func (g *Graph) searchFrom(sc *ppScratch, src geo.NodeID, budget float64) {
 
 	useALT := len(g.landmarks) > 0 && len(sc.uniq)*len(g.landmarks) <= maxHeuristicWork
 	hcur := sc.hcur
+	//det:hotalloc non-escaping closure, stack-allocated because h never leaves searchFrom
 	h := func(v geo.NodeID) float64 {
 		if !useALT {
 			return 0

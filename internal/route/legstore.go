@@ -46,6 +46,8 @@ func NewLegStore(net roadnet.Network) *LegStore {
 // block returns the pair's leg block (filling it with one batched network
 // query on first use) and whether the pair was given in (hi, lo) order —
 // the caller needs that to map member indices onto block rows.
+//
+//det:specwrite memoized pure leg matrix keyed by the pair; every store has exactly one writer goroutine and the cached values are bit-identical no matter when the fill ran
 func (s *LegStore) block(a, b *order.Order) (blk *legBlock, swapped bool) {
 	lo, hi := a, b
 	if lo.ID > hi.ID {
@@ -57,6 +59,7 @@ func (s *LegStore) block(a, b *order.Order) (blk *legBlock, swapped bool) {
 		s.hits++
 		return blk, swapped
 	}
+	//det:hotalloc one block per distinct pair, cached for the pair's lifetime and amortized over thousands of DP touches
 	blk = new(legBlock)
 	locs := [4]geo.NodeID{lo.Pickup, lo.Dropoff, hi.Pickup, hi.Dropoff}
 	roadnet.FillCostMatrix(s.net, locs[:], locs[:], blk[:])

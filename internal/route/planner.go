@@ -91,6 +91,8 @@ func (p *Planner) planGroupFrom(orders []*order.Order, now float64, capacity int
 // raising now only shrinks the feasible route set, stays false for every
 // later now (the monotone-infeasibility property the pool's negative cache
 // relies on).
+//
+//det:hotpath the shareability graph's per-pair test runs millions of times per simulated day and must not allocate in steady state
 func (p *Planner) PlanGroupCost(orders []*order.Order, now float64, capacity int, legs *LegStore, svc []float64) (cost, expiry float64, ok bool) {
 	sc := scratchPool.Get().(*planScratch)
 	defer scratchPool.Put(sc)
@@ -286,6 +288,7 @@ type planScratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return &planScratch{} }}
 
+//det:hotalloc grows the pooled scratch once per high-water mark; steady state reuses capacity
 func (s *planScratch) loc(ne int) []geo.NodeID {
 	if cap(s.locBuf) < ne {
 		s.locBuf = make([]geo.NodeID, ne)
@@ -293,6 +296,7 @@ func (s *planScratch) loc(ne int) []geo.NodeID {
 	return s.locBuf[:ne]
 }
 
+//det:hotalloc grows the pooled scratch once per high-water mark; steady state reuses capacity
 func (s *planScratch) legs(ne int) []float64 {
 	if cap(s.legBuf) < ne*ne {
 		s.legBuf = make([]float64, ne*ne)
@@ -300,6 +304,7 @@ func (s *planScratch) legs(ne int) []float64 {
 	return s.legBuf[:ne*ne]
 }
 
+//det:hotalloc grows the pooled scratch once per high-water mark; steady state reuses capacity
 func (s *planScratch) pickups(k int) []geo.NodeID {
 	if cap(s.pickupBuf) < k {
 		s.pickupBuf = make([]geo.NodeID, k)
@@ -307,6 +312,7 @@ func (s *planScratch) pickups(k int) []geo.NodeID {
 	return s.pickupBuf[:k]
 }
 
+//det:hotalloc grows the pooled scratch once per high-water mark; steady state reuses capacity
 func (s *planScratch) startRow(k int) []float64 {
 	if cap(s.rowBuf) < k {
 		s.rowBuf = make([]float64, k)
@@ -314,6 +320,7 @@ func (s *planScratch) startRow(k int) []float64 {
 	return s.rowBuf[:k]
 }
 
+//det:hotalloc grows the pooled scratch once per high-water mark; steady state reuses capacity
 func (s *planScratch) tables(size int) ([]float64, []int32) {
 	if cap(s.dpBuf) < size {
 		s.dpBuf = make([]float64, size)

@@ -46,6 +46,8 @@ type Stats struct {
 // spec is one order's speculative tick work: the best-group worker probe,
 // the singleton plan, and the solo worker probe, each carried with the
 // dependency footprint (scanned cells) that decides its validity at commit.
+//
+//det:scratch per-order speculation slot, written only by the owning shard within one tick
 type spec struct {
 	epoch uint64
 
@@ -73,9 +75,18 @@ type spec struct {
 // re-derived each tick with exactly the DP's comparison; a nil plan is
 // permanently infeasible (rider count over capacity, or the deadline was
 // already unreachable — and the feasible set only shrinks as now grows).
+//
+//det:scratch singleton memo entry, owned by one shard's soloMemo arena
 type soloEntry struct {
 	plan *order.RoutePlan
 }
+
+// soloMemo is one shard's singleton-plan memo. Each shard goroutine owns
+// exactly one — written only during its own speculation slice and pruned
+// between ticks by the coordinator — so memo writes are speculation-local.
+//
+//det:scratch per-shard memo map, single-writer by the slot partition
+type soloMemo map[int]*soloEntry
 
 // Engine is the slot-sharded dispatch engine. Phase A (BeginTick) fans the
 // periodic check's expensive read-only work out over K shard goroutines —
@@ -96,7 +107,7 @@ type Engine struct {
 	capacity int
 
 	readers []*gridindex.ProbeReader
-	solo    []map[int]*soloEntry // per-shard singleton plan memos
+	solo    []soloMemo // per-shard singleton plan memos
 
 	// Per-tick state.
 	view    PoolView
@@ -135,14 +146,14 @@ func NewEngine(k int, ix *gridindex.Index, wi *gridindex.WorkerIndex, planner *r
 		planner:   planner,
 		capacity:  capacity,
 		readers:   make([]*gridindex.ProbeReader, table.K()),
-		solo:      make([]map[int]*soloEntry, table.K()),
+		solo:      make([]soloMemo, table.K()),
 		idx:       make(map[int]int),
 		cellEpoch: make([]uint64, ix.NumCells()),
 		slotLoad:  make([]int, ix.NumCells()),
 	}
 	for i := range e.readers {
 		e.readers[i] = wi.NewReader()
-		e.solo[i] = make(map[int]*soloEntry)
+		e.solo[i] = make(soloMemo)
 	}
 	wi.SetMoveObserver(e.noteMove)
 	return e, nil
@@ -226,6 +237,8 @@ func (e *Engine) BeginTick(view PoolView, ids []int, now float64, anyIdle bool) 
 // the calling goroutine. Everything here is read-only against the shared
 // simulation state; writes go only to this shard's spec slots, reader and
 // solo memo.
+//
+//det:specroot shard speculation runs concurrently against the quiescent pool snapshot
 func (e *Engine) speculateShard(sh int, mine []int) {
 	r := e.readers[sh]
 	memo := e.solo[sh]
@@ -234,7 +247,8 @@ func (e *Engine) speculateShard(sh int, mine []int) {
 	}
 }
 
-func (e *Engine) speculateOne(r *gridindex.ProbeReader, memo map[int]*soloEntry, i int) {
+//det:specroot per-order probe work, write-free outside the shard's own scratch
+func (e *Engine) speculateOne(r *gridindex.ProbeReader, memo soloMemo, i int) {
 	id := e.ids[i]
 	sp := &e.specs[i]
 	sp.epoch = e.tickEpoch
