@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench lint detlint staticcheck govulncheck fmt ci benchsweep benchroute benchstream benchpool benchshard benchproxy benchgate clean
+.PHONY: build examples test race bench lint detlint staticcheck govulncheck fmt ci fixtures benchsweep benchroute benchstream benchpool benchshard benchproxy benchgate clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,12 @@ fmt:
 	gofmt -w .
 
 ci: lint staticcheck govulncheck build examples test race bench
+
+# Regenerate the checked-in DIMACS fixture from its generator (the
+# importer test fails if the two ever drift).
+fixtures:
+	$(GO) run ./cmd/dimacsgen -w 6 -h 5 -cell 150 -speed 8 -jitter 0.4 -seed 42 \
+		-out internal/roadnet/testdata/grid6x5
 
 # Regenerate the sequential-vs-parallel engine baseline.
 benchsweep:

@@ -21,6 +21,14 @@
 //   - overheads — lower-is-better "overhead_factor" keys may grow to at
 //     most -growth times the baseline (default 1.5x).
 //
+// Reports may be flat objects or carry a "rows" array of per-scale rows
+// (BENCH_routing.json): rows are matched between baseline and fresh by
+// their "city" key and gated with the same three families, reported as
+// rows[<city>].<key>. Correctness flags are additionally absolute: any
+// false *identical* flag anywhere in a fresh report fails the gate even
+// when the baseline has no matching row — a new city scale never gets to
+// ship with broken bit-identity.
+//
 // Exit status is non-zero when any gate fails or a report is missing, so
 // the CI job fails loudly.
 package main
@@ -110,6 +118,7 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 			return nil, fmt.Errorf("scale mismatch: baseline %v vs fresh %v", bs, fs)
 		}
 	}
+	base, fresh = flatten(base), flatten(fresh)
 	// Gate in sorted key order so the report (and the first failure CI
 	// prints) is identical run to run — the gate holds itself to the
 	// determinism bar it enforces.
@@ -120,6 +129,7 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 	sort.Strings(keys)
 	var rs []gateResult
 	gated := 0
+	covered := make(map[string]bool)
 	for _, key := range keys {
 		bv := base[key]
 		switch {
@@ -129,6 +139,7 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 				continue // a baseline that never held the guarantee can't gate it
 			}
 			gated++
+			covered[key] = true
 			fb, ok := fresh[key].(bool)
 			rs = append(rs, gateResult{
 				pair: pair, key: key, ok: ok && fb,
@@ -160,6 +171,26 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 			})
 		}
 	}
+	// Correctness flags are absolute, not merely non-regressing: a fresh
+	// row the baseline has never seen (a new city scale) still must hold
+	// every bit-identity guarantee it claims a flag for.
+	fkeys := make([]string, 0, len(fresh))
+	for key := range fresh {
+		fkeys = append(fkeys, key)
+	}
+	sort.Strings(fkeys)
+	for _, key := range fkeys {
+		if covered[key] || !strings.Contains(key, "identical") {
+			continue
+		}
+		if fb, ok := fresh[key].(bool); ok && !fb {
+			gated++
+			rs = append(rs, gateResult{
+				pair: pair, key: key, ok: false,
+				note: "fresh=false (hard guarantee, gated without baseline coverage)",
+			})
+		}
+	}
 	if gated == 0 {
 		return nil, fmt.Errorf("baseline %s exposes no gated keys (identical/speedup/overhead_factor)", basePath)
 	}
@@ -170,6 +201,41 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 		}
 	}
 	return rs, nil
+}
+
+// flatten folds a report's "rows" array (if any) into the flat key space:
+// each row becomes rows[<city>].<key> entries, matched across reports by
+// the row's "city" value (its index when no city key exists). Scalar keys
+// pass through untouched, so flat reports gate exactly as before.
+func flatten(m map[string]any) map[string]any {
+	rows, ok := m["rows"].([]any)
+	if !ok {
+		return m
+	}
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		if k != "rows" {
+			out[k] = v
+		}
+	}
+	for i, rv := range rows {
+		row, ok := rv.(map[string]any)
+		if !ok {
+			continue
+		}
+		name := fmt.Sprintf("%d", i)
+		if city, ok := row["city"].(string); ok && city != "" {
+			name = city
+		}
+		//det:unordered pure map-to-map copy under an injective key rename; consumers re-sort the flat key space
+		for k, v := range row {
+			if k == "city" {
+				continue
+			}
+			out[fmt.Sprintf("rows[%s].%s", name, k)] = v
+		}
+	}
+	return out
 }
 
 func loadReport(path string) (map[string]any, error) {

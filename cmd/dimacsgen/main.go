@@ -1,0 +1,51 @@
+// Command dimacsgen writes a deterministic perturbed-grid city as a DIMACS
+// .gr/.co pair (integer centisecond weights, centimeter coordinates — see
+// internal/roadnet/importer.go for the format contract). The same flags
+// always produce the same bytes, so generated fixtures can be checked in
+// and regenerated verifiably (`make fixtures`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"watter/internal/roadnet"
+)
+
+func main() {
+	var (
+		w      = flag.Int("w", 320, "grid width in nodes")
+		h      = flag.Int("h", 320, "grid height in nodes")
+		cell   = flag.Float64("cell", 200, "cell edge length in meters")
+		speed  = flag.Float64("speed", 8, "base travel speed in m/s")
+		jitter = flag.Float64("jitter", 0.3, "per-edge weight jitter fraction")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("out", "city", "output path prefix (writes <out>.gr and <out>.co)")
+	)
+	flag.Parse()
+
+	gr, err := os.Create(*out + ".gr")
+	if err != nil {
+		fatal(err)
+	}
+	co, err := os.Create(*out + ".co")
+	if err != nil {
+		fatal(err)
+	}
+	if err := roadnet.WriteDIMACSGrid(gr, co, *w, *h, *cell, *speed, *jitter, *seed); err != nil {
+		fatal(err)
+	}
+	if err := gr.Close(); err != nil {
+		fatal(err)
+	}
+	if err := co.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s.gr and %s.co (%d nodes)\n", *out, *out, *w**h)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dimacsgen:", err)
+	os.Exit(1)
+}

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"flag"
@@ -53,7 +54,7 @@ import (
 func main() {
 	var (
 		fig         = flag.String("fig", "fig3", "sweep id (fig3..fig6, grid, eta, dt, gmm, omega, or 'all')")
-		city        = flag.String("city", "cdc", "city: nyc, cdc, xia, or 'all'")
+		city        = flag.String("city", "cdc", "city: nyc, cdc, xia, met, or 'all' (met is the 102K-node explicit-graph metropolis; 'all' stays nyc/cdc/xia)")
 		scale       = flag.Float64("scale", 1, "order/worker count multiplier")
 		seed        = flag.Int64("seed", 1, "workload seed (first replicate)")
 		replicates  = flag.Int("replicates", 1, "seed replicates per cell (reported as mean ± CI)")
@@ -289,138 +290,178 @@ func runBenchSweep(path string, scale float64, seed int64, parallel int, quiet b
 	return nil
 }
 
-// routeReport is the JSON shape of the routing engine benchmark
-// (BENCH_routing.json).
-type routeReport struct {
-	City           string  `json:"city"`
-	Nodes          int     `json:"nodes"`
-	Landmarks      int     `json:"landmarks"`
-	Groups         int     `json:"groups"`
-	GroupEvents    int     `json:"group_events"`
-	LegsPerGroup   int     `json:"legs_per_group"`
-	Scale          float64 `json:"scale"`
-	GOMAXPROCS     int     `json:"gomaxprocs"`
-	ColdSSSPSecs   float64 `json:"cold_dijkstra_seconds"`
-	WarmSSSPSecs   float64 `json:"warm_dijkstra_seconds"`
-	EngineSecs     float64 `json:"engine_seconds"`
-	Speedup        float64 `json:"speedup_vs_cold"`
-	SpeedupVsWarm  float64 `json:"speedup_vs_warm"`
-	Identical      bool    `json:"distances_bit_identical"`
-	UnreachablePct float64 `json:"unreachable_pct"`
+// routeRow is one city scale in the routing engine benchmark
+// (BENCH_routing.json): every query engine the graph owns — CH, ALT, cold
+// and warm cached Dijkstra — timed over the same single-pair probe set.
+type routeRow struct {
+	City             string  `json:"city"`
+	Nodes            int     `json:"nodes"`
+	Landmarks        int     `json:"landmarks"`
+	CHShortcuts      int     `json:"ch_shortcuts"`
+	CHCore           int     `json:"ch_core"`
+	CHBuildSecs      float64 `json:"ch_build_seconds"`
+	Probes           int     `json:"probes"`
+	CHSecs           float64 `json:"ch_seconds"`
+	ALTSecs          float64 `json:"alt_seconds"`
+	ColdSSSPSecs     float64 `json:"cold_dijkstra_seconds"`
+	WarmSSSPSecs     float64 `json:"warm_dijkstra_seconds"`
+	SpeedupCHvsALT   float64 `json:"speedup_ch_vs_alt"`
+	SpeedupCHvsCold  float64 `json:"speedup_ch_vs_cold"`
+	SpeedupALTvsCold float64 `json:"speedup_alt_vs_cold"`
+	AmortizeProbes   float64 `json:"ch_build_amortize_probes"`
+	Identical        bool    `json:"distances_bit_identical"`
+	UnreachablePct   float64 `json:"unreachable_pct"`
 }
 
-// runBenchRoute times the planner leg-matrix workload — many-to-many cost
-// matrices over small clusters of pickup/dropoff nodes — on the batched ALT
-// point-to-point engine versus both legacy regimes: a cold full
-// single-source Dijkstra per distinct source (the pre-engine behavior
-// whenever an order's location misses the LRU cache — guaranteed on cities
-// with more nodes than the cache holds, which the default -scale city is)
-// and a warm arm that keeps the LRU across groups (the best case the old
-// path ever achieved, on small cities with recurring locations). It
-// verifies all arms produce bit-identical distances and writes the JSON
-// report that tracks the routing layer's perf trajectory.
-func runBenchRoute(path string, scale float64, seed int64, quiet bool) error {
-	// 70x70 = 4900 nodes at scale 1: above the graph's 4096-entry SSSP
-	// cache, so the legacy warm arm pays real eviction pressure just as
-	// pre-engine production did on any city this size or larger.
-	side := int(70 * math.Sqrt(scale))
-	if side < 12 {
-		side = 12
-	}
-	groups := 192
-	const events = 8 // 4 orders: 4 pickups + 4 dropoffs
-	g := roadnet.NewPerturbedGrid(side, side, 200, 8, 0.3, seed)
-	logf := func(format string, args ...any) {
-		if !quiet {
-			fmt.Fprintf(os.Stderr, format, args...)
-		}
-	}
-	logf("benchroute: %dx%d city (%d nodes, %d landmarks), %d leg matrices of %dx%d\n",
-		side, side, g.NumNodes(), g.NumLandmarks(), groups, events, events)
+// routeReport is the JSON shape of the routing engine benchmark
+// (BENCH_routing.json): one row per city scale.
+type routeReport struct {
+	Scale      float64    `json:"scale"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Rows       []routeRow `json:"rows"`
+}
 
-	// Clustered event nodes: orders that pool into one group are near each
-	// other, so each matrix spans a neighborhood, not the whole city.
-	rng := rand.New(rand.NewSource(seed * 7919))
-	work := make([][]geo.NodeID, groups)
+// benchRouteRow times one city through all four point-to-point regimes over
+// the same probe set: the contraction hierarchy, the ALT engine it replaced
+// on large graphs, a cold full single-source Dijkstra per probe (the
+// pre-engine behavior whenever a source misses the LRU cache) and a warm
+// arm that keeps the LRU across probes (the best case the legacy path ever
+// achieved, with recurring sources). Probes are single pickup→dropoff pairs
+// — the dispatch loop's dominant query shape — drawn from a small source
+// pool so the warm arm genuinely amortizes its Dijkstras. All four arms
+// must agree bit for bit.
+func benchRouteRow(city string, g *roadnet.Graph, probes int, seed int64, logf func(string, ...any)) routeRow {
+	g.EnableHierarchy()
+	logf("benchroute: %s — %d nodes, %d landmarks, %d shortcuts (built in %.1fs), %d probes\n",
+		city, g.NumNodes(), g.NumLandmarks(), g.NumShortcuts(), g.HierarchyBuildSeconds(), probes)
+
+	rng := rand.New(rand.NewSource(seed*7919 + int64(g.NumNodes())))
+	srcPool := make([]geo.NodeID, 48)
+	for i := range srcPool {
+		srcPool[i] = geo.NodeID(rng.Intn(g.NumNodes()))
+	}
+	type probe struct{ s, t geo.NodeID }
+	work := make([]probe, probes)
 	for i := range work {
-		cx, cy := rng.Intn(side), rng.Intn(side)
-		grp := make([]geo.NodeID, events)
-		for j := range grp {
-			x := clamp(cx+rng.Intn(13)-6, 0, side-1)
-			y := clamp(cy+rng.Intn(13)-6, 0, side-1)
-			grp[j] = geo.NodeID(y*side + x)
+		s := srcPool[rng.Intn(len(srcPool))]
+		t := geo.NodeID(rng.Intn(g.NumNodes()))
+		for t == s {
+			t = geo.NodeID(rng.Intn(g.NumNodes()))
 		}
-		work[i] = grp
+		work[i] = probe{s, t}
 	}
 
-	engineOut := make([][]float64, groups)
+	chOut := make([]float64, probes)
+	g.SetHierarchy(true)
 	start := time.Now()
-	for i, grp := range work {
-		row := make([]float64, events*events)
-		roadnet.FillCostMatrix(g, grp, grp, row)
-		engineOut[i] = row
+	for i, p := range work {
+		chOut[i] = g.CostPP(p.s, p.t)
 	}
-	engineSecs := time.Since(start).Seconds()
+	chSecs := time.Since(start).Seconds()
 
-	ssspOut := make([][]float64, groups)
+	altOut := make([]float64, probes)
 	start = time.Now()
-	for i, grp := range work {
-		g.FlushCache() // each group's sources are fresh: cold path
-		row := make([]float64, events*events)
-		for a, s := range grp {
-			for b, t := range grp {
-				row[a*events+b] = g.CostSSSP(s, t)
-			}
-		}
-		ssspOut[i] = row
+	for i, p := range work {
+		altOut[i] = g.CostALT(p.s, p.t)
 	}
-	ssspSecs := time.Since(start).Seconds()
+	altSecs := time.Since(start).Seconds()
 
-	warmOut := make([][]float64, groups)
+	coldOut := make([]float64, probes)
+	start = time.Now()
+	for i, p := range work {
+		g.FlushCache() // every probe's source is fresh: the cold path
+		coldOut[i] = g.CostSSSP(p.s, p.t)
+	}
+	coldSecs := time.Since(start).Seconds()
+
+	warmOut := make([]float64, probes)
 	g.FlushCache()
 	start = time.Now()
-	for i, grp := range work {
-		// No flush: the LRU persists across groups like a live sweep.
-		row := make([]float64, events*events)
-		for a, s := range grp {
-			for b, t := range grp {
-				row[a*events+b] = g.CostSSSP(s, t)
-			}
-		}
-		warmOut[i] = row
+	for i, p := range work {
+		// No flush: the LRU persists across probes like a live sweep.
+		warmOut[i] = g.CostSSSP(p.s, p.t)
 	}
 	warmSecs := time.Since(start).Seconds()
 
 	identical := true
 	unreachable := 0
-	for i := range engineOut {
-		for j := range engineOut[i] {
-			if engineOut[i][j] != ssspOut[i][j] || engineOut[i][j] != warmOut[i][j] {
-				identical = false
-			}
-			if math.IsInf(engineOut[i][j], 1) {
-				unreachable++
-			}
+	for i := range chOut {
+		if chOut[i] != altOut[i] || chOut[i] != coldOut[i] || chOut[i] != warmOut[i] {
+			identical = false
+		}
+		if math.IsInf(chOut[i], 1) {
+			unreachable++
 		}
 	}
-
-	rep := routeReport{
-		City:           fmt.Sprintf("perturbed-grid-%dx%d", side, side),
-		Nodes:          g.NumNodes(),
-		Landmarks:      g.NumLandmarks(),
-		Groups:         groups,
-		GroupEvents:    events,
-		LegsPerGroup:   events * events,
-		Scale:          scale,
-		GOMAXPROCS:     runtime.GOMAXPROCS(0),
-		ColdSSSPSecs:   ssspSecs,
-		WarmSSSPSecs:   warmSecs,
-		EngineSecs:     engineSecs,
-		Speedup:        ssspSecs / engineSecs,
-		SpeedupVsWarm:  warmSecs / engineSecs,
-		Identical:      identical,
-		UnreachablePct: 100 * float64(unreachable) / float64(groups*events*events),
+	// Probes until the CH build has paid for itself versus staying on ALT.
+	amortize := -1.0
+	if perProbeGain := (altSecs - chSecs) / float64(probes); perProbeGain > 0 {
+		amortize = math.Ceil(g.HierarchyBuildSeconds() / perProbeGain)
 	}
+
+	return routeRow{
+		City:             city,
+		Nodes:            g.NumNodes(),
+		Landmarks:        g.NumLandmarks(),
+		CHShortcuts:      g.NumShortcuts(),
+		CHCore:           g.CoreSize(),
+		CHBuildSecs:      g.HierarchyBuildSeconds(),
+		Probes:           probes,
+		CHSecs:           chSecs,
+		ALTSecs:          altSecs,
+		ColdSSSPSecs:     coldSecs,
+		WarmSSSPSecs:     warmSecs,
+		SpeedupCHvsALT:   altSecs / chSecs,
+		SpeedupCHvsCold:  coldSecs / chSecs,
+		SpeedupALTvsCold: coldSecs / altSecs,
+		AmortizeProbes:   amortize,
+		Identical:        identical,
+		UnreachablePct:   100 * float64(unreachable) / float64(probes),
+	}
+}
+
+// runBenchRoute benchmarks the routing oracle at two city scales: the
+// 70x70 perturbed grid (≈4.9K nodes — above the SSSP cache, below the
+// hierarchy's auto-build threshold) and the 320x320 metropolis (≈102K
+// nodes, the paper's real-city scale). The metropolis is round-tripped
+// through the DIMACS writer/importer, so the row also certifies that an
+// imported city answers bit-identically. Each row verifies CH, ALT and
+// both Dijkstra regimes agree bit for bit and records the CH build cost
+// plus the probe count that amortizes it.
+func runBenchRoute(path string, scale float64, seed int64, quiet bool) error {
+	logf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+	sideAt := func(base int, floor int) int {
+		side := int(float64(base) * math.Sqrt(scale))
+		if side < floor {
+			side = floor
+		}
+		return side
+	}
+
+	small := sideAt(70, 12)
+	gSmall := roadnet.NewPerturbedGrid(small, small, 200, 8, 0.3, seed)
+	rows := []routeRow{
+		benchRouteRow(fmt.Sprintf("perturbed-grid-%dx%d", small, small), gSmall, 4096, seed, logf),
+	}
+
+	big := sideAt(320, 40)
+	var gr, co bytes.Buffer
+	if err := roadnet.WriteDIMACSGrid(&gr, &co, big, big, 200, 8, 0.3, seed); err != nil {
+		return err
+	}
+	logf("benchroute: importing %dx%d DIMACS city (%d bytes .gr)...\n", big, big, gr.Len())
+	gBig, err := roadnet.ReadDIMACS(&gr, &co)
+	if err != nil {
+		return err
+	}
+	rows = append(rows,
+		benchRouteRow(fmt.Sprintf("dimacs-metro-%dx%d", big, big), gBig, 384, seed, logf))
+
+	rep := routeReport{Scale: scale, GOMAXPROCS: runtime.GOMAXPROCS(0), Rows: rows}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -429,13 +470,16 @@ func runBenchRoute(path string, scale float64, seed int64, quiet bool) error {
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchroute: %d matrices  cold-dijkstra=%.3fs  warm-dijkstra=%.3fs  engine=%.3fs  speedup=%.1fx (%.1fx vs warm)  identical=%v\n",
-		rep.Groups, rep.ColdSSSPSecs, rep.WarmSSSPSecs, rep.EngineSecs, rep.Speedup, rep.SpeedupVsWarm, rep.Identical)
-	if !identical {
-		return fmt.Errorf("benchroute: engine distances diverged from the Dijkstra reference")
-	}
-	if rep.Speedup <= 1 {
-		return fmt.Errorf("benchroute: engine (%.3fs) did not beat the cold Dijkstra path (%.3fs)", engineSecs, ssspSecs)
+	for _, r := range rows {
+		fmt.Printf("benchroute: %s (%d nodes)  ch=%.3fs  alt=%.3fs  cold=%.3fs  warm=%.3fs  ch-vs-alt=%.1fx  ch-vs-cold=%.1fx  build=%.1fs (amortized in %.0f probes)  identical=%v\n",
+			r.City, r.Nodes, r.CHSecs, r.ALTSecs, r.ColdSSSPSecs, r.WarmSSSPSecs,
+			r.SpeedupCHvsALT, r.SpeedupCHvsCold, r.CHBuildSecs, r.AmortizeProbes, r.Identical)
+		if !r.Identical {
+			return fmt.Errorf("benchroute: %s: engines diverged from the Dijkstra reference", r.City)
+		}
+		if r.SpeedupCHvsCold <= 1 {
+			return fmt.Errorf("benchroute: %s: CH (%.3fs) did not beat the cold Dijkstra path (%.3fs)", r.City, r.CHSecs, r.ColdSSSPSecs)
+		}
 	}
 	return nil
 }

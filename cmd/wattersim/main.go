@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		city       = flag.String("city", "cdc", "city: nyc, cdc, xia")
+		city       = flag.String("city", "cdc", "city: nyc, cdc, xia, met")
 		alg        = flag.String("alg", "WATTER-expect", "algorithm: GDP, GAS, WATTER-online, WATTER-timeout, WATTER-expect")
 		n          = flag.Int("n", 0, "order count (0 = city default)")
 		m          = flag.Int("m", 0, "worker count (0 = city default)")

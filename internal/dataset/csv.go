@@ -135,12 +135,12 @@ func (ct *City) LoadTripsCSV(r io.Reader, georef Georeference, opt TripCSVOption
 // one block outside the city bounds.
 func (ct *City) snap(p geo.Point) (geo.NodeID, bool) {
 	b := ct.Net.Bounds()
-	slackX := ct.Net.CellMeters
+	slackX := ct.Profile.CellMeters
 	if p.X < b.Min.X-slackX || p.X > b.Max.X+slackX || p.Y < b.Min.Y-slackX || p.Y > b.Max.Y+slackX {
 		return 0, false
 	}
-	x := clampInt(int(math.Round(p.X/ct.Net.CellMeters)), 0, ct.Profile.W-1)
-	y := clampInt(int(math.Round(p.Y/ct.Net.CellMeters)), 0, ct.Profile.H-1)
+	x := clampInt(int(math.Round(p.X/ct.Profile.CellMeters)), 0, ct.Profile.W-1)
+	y := clampInt(int(math.Round(p.Y/ct.Profile.CellMeters)), 0, ct.Profile.H-1)
 	return ct.Net.Node(x, y), true
 }
 

@@ -33,6 +33,15 @@ type Profile struct {
 	W, H       int
 	CellMeters float64
 	SpeedMPS   float64
+	// RoadJitter switches the city from the closed-form GridCity onto an
+	// explicit perturbed-lattice road graph (per-edge travel times scaled
+	// by a factor in [1-RoadJitter, 1+RoadJitter], deterministic under
+	// RoadSeed). An explicit graph runs the full routing stack — ALT and,
+	// at chAutoMinNodes and above, the contraction hierarchy — which is the
+	// point of the MET profile: a paper-scale city whose cost oracle is a
+	// real routing engine instead of an L1 formula.
+	RoadJitter float64
+	RoadSeed   int64
 	// HotspotShare is the fraction of pickups drawn from the hotspot
 	// mixture (the rest is uniform) — the concentration knob that
 	// separates NYC from CDC/XIA.
@@ -96,7 +105,30 @@ func XIA() Profile {
 	}
 }
 
-// ByName resolves "nyc", "cdc" or "xia" (case-insensitive prefix match).
+// MET returns the metropolis-scale profile: a 320x320 perturbed lattice
+// (102,400 intersections — the size band of the paper's real road
+// networks) whose cost oracle is the explicit routing engine with the
+// contraction hierarchy built at construction time. Building it costs
+// tens of seconds of CH preprocessing, which is the trade the profile
+// exists to measure: sweeps amortize the build across millions of
+// dispatch-time cost queries.
+func MET() Profile {
+	return Profile{
+		Name: "MET", W: 320, H: 320, CellMeters: 200, SpeedMPS: 8,
+		RoadJitter: 0.3, RoadSeed: 1,
+		HotspotShare: 0.6, DropoffHotspotShare: 0.25,
+		Hotspots: []Hotspot{
+			{X: 160, Y: 160, Sigma: 30, Weight: 3}, // downtown core
+			{X: 80, Y: 220, Sigma: 24, Weight: 1.5},
+			{X: 240, Y: 90, Sigma: 24, Weight: 1.5},
+			{X: 60, Y: 60, Sigma: 18, Weight: 1},
+		},
+		RushHours: [][3]float64{{7.5 * 3600, 9.5 * 3600, 2.5}, {17 * 3600, 20 * 3600, 3}},
+	}
+}
+
+// ByName resolves "nyc", "cdc", "xia" or "met" (case-insensitive prefix
+// match).
 func ByName(name string) (Profile, error) {
 	switch {
 	case len(name) == 0:
@@ -107,6 +139,8 @@ func ByName(name string) (Profile, error) {
 		return CDC(), nil
 	case name[0] == 'x' || name[0] == 'X':
 		return XIA(), nil
+	case name[0] == 'm' || name[0] == 'M':
+		return MET(), nil
 	}
 	return Profile{}, fmt.Errorf("dataset: unknown city %q", name)
 }
@@ -114,11 +148,15 @@ func ByName(name string) (Profile, error) {
 // City is a generated city: the network plus its demand profile.
 type City struct {
 	Profile Profile
-	Net     *roadnet.GridCity
+	Net     roadnet.LatticeNetwork
 }
 
-// Build materializes the profile's road network.
+// Build materializes the profile's road network: the closed-form GridCity
+// by default, an explicit perturbed-lattice graph when RoadJitter is set.
 func (p Profile) Build() *City {
+	if p.RoadJitter > 0 {
+		return &City{Profile: p, Net: roadnet.NewPerturbedLattice(p.W, p.H, p.CellMeters, p.SpeedMPS, p.RoadJitter, p.RoadSeed)}
+	}
 	return &City{Profile: p, Net: roadnet.NewGridCity(p.W, p.H, p.CellMeters, p.SpeedMPS)}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"watter/internal/gridindex"
+	"watter/internal/roadnet"
 )
 
 func TestProfilesBuild(t *testing.T) {
@@ -20,9 +21,40 @@ func TestProfilesBuild(t *testing.T) {
 	}
 }
 
+// TestJitteredProfileBuild exercises the explicit-lattice Build path on a
+// shrunken MET clone (the full 320x320 profile costs tens of seconds of CH
+// preprocessing, which belongs in benchmarks, not tier-1 tests): the city
+// must run on a real Graph and generate valid orders whose direct costs
+// come from the routing engine.
+func TestJitteredProfileBuild(t *testing.T) {
+	p := MET()
+	p.W, p.H = 14, 11
+	city := p.Build()
+	lat, ok := city.Net.(*roadnet.Lattice)
+	if !ok {
+		t.Fatalf("jittered profile built %T, want *roadnet.Lattice", city.Net)
+	}
+	if lat.W != 14 || lat.H != 11 || city.Net.NumNodes() != 14*11 {
+		t.Fatalf("lattice shape %dx%d (%d nodes)", lat.W, lat.H, city.Net.NumNodes())
+	}
+	orders := city.Orders(WorkloadConfig{Orders: 120, Seed: 11})
+	if len(orders) == 0 {
+		t.Fatal("no orders generated")
+	}
+	for _, o := range orders {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("invalid order: %v", err)
+		}
+		if o.DirectCost != city.Net.Cost(o.Pickup, o.Dropoff) {
+			t.Fatalf("direct cost mismatch on %d", o.ID)
+		}
+	}
+}
+
 func TestByName(t *testing.T) {
 	for name, want := range map[string]string{
-		"nyc": "NYC", "NYC": "NYC", "cdc": "CDC", "Chengdu": "CDC", "xia": "XIA", "Xian": "XIA",
+		"nyc": "NYC", "NYC": "NYC", "cdc": "CDC", "Chengdu": "CDC",
+		"xia": "XIA", "Xian": "XIA", "met": "MET", "Metro": "MET",
 	} {
 		p, err := ByName(name)
 		if err != nil || p.Name != want {

@@ -14,7 +14,8 @@ import (
 // TestProbeReaderMatchesIndex: a ProbeReader runs the identical budgeted
 // ring search as the index's own ClosestIdleWithin — same worker, same
 // cost, for random fleets, probe points, budgets and capacities — and the
-// scanned-cell record always contains the probe's center cell.
+// candidate record contains exactly the idle in-budget workers the search
+// costed (in particular, always the winner).
 func TestProbeReaderMatchesIndex(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	net := roadnet.NewGridCity(30, 30, 100, 10)
@@ -41,20 +42,26 @@ func TestProbeReaderMatchesIndex(t *testing.T) {
 				maxCost = float64(rng.Intn(400))
 			}
 			iw, ic := wi.ClosestIdleWithin(node, now, minCap, maxCost)
-			rw, rc, scan := r.ClosestIdleWithin(node, now, minCap, maxCost)
+			rw, rc, cands := r.ClosestIdleWithin(node, now, minCap, maxCost)
 			if iw != rw || ic != rc {
 				t.Fatalf("trial %d query %d: index (%v, %v) != reader (%v, %v)", trial, q, iw, ic, rw, rc)
 			}
-			center := int32(ix.CellOf(node))
+			if rw == nil {
+				continue
+			}
 			found := false
-			for _, c := range scan {
-				if c == center {
+			for _, id := range cands {
+				if int(id) == rw.ID {
 					found = true
-					break
+				}
+				// Every recorded candidate is a real in-budget idle worker.
+				cw := workers[id-1]
+				if !cw.IdleAt(now) || cw.Capacity < minCap || net.Cost(cw.Loc, node) > maxCost {
+					t.Fatalf("trial %d query %d: recorded candidate %d is not an in-budget idle worker", trial, q, id)
 				}
 			}
 			if !found {
-				t.Fatalf("scan record misses the center cell %d: %v", center, scan)
+				t.Fatalf("candidate record misses the winner %d: %v", rw.ID, cands)
 			}
 		}
 	}

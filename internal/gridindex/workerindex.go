@@ -36,8 +36,8 @@ type WorkerIndex struct {
 
 	// moveObs, when set, observes every Update with the worker's previous
 	// and current cell (equal when the worker stayed put). The sharded
-	// dispatch engine uses it to invalidate speculative probes whose
-	// scanned cells a dispatch touched.
+	// dispatch engine uses it to invalidate speculative probes that
+	// considered the updated worker as a candidate.
 	moveObs func(w *order.Worker, oldCell, newCell int)
 }
 
@@ -158,14 +158,18 @@ func (wi *WorkerIndex) ClosestIdleWithin(node geo.NodeID, now float64, minCapaci
 // closestIdleWithin is the one implementation of the budgeted ring search.
 // The index's own queries and every ProbeReader run this exact code over
 // the same cell buckets, so the two paths are bit-identical by
-// construction. When scan is non-nil, every in-range cell the search visits
-// is appended to it — the record a speculative caller needs to later decide
-// whether a dispatch could have changed this search's outcome (a search is
-// only affected by workers entering, leaving or changing state inside a
-// visited cell).
+// construction. When cands is non-nil, every costed in-budget candidate's
+// worker ID is appended to it — the exact dependency footprint a
+// speculative caller needs: a dispatch can only book workers (idle ->
+// busy, never the reverse within a tick), so re-running the search after
+// some bookings removes candidates and never adds any. Removing a
+// non-candidate (busy, under-capacity, out-of-budget or unreachable here)
+// cannot change the argmin, and removing an in-budget candidate is
+// exactly what the recorded IDs detect — so the search's answer is stable
+// iff no recorded candidate was booked.
 //
 //det:hotpath the budgeted ring search backs every dispatch probe and every speculation; buffers come from the caller's scratch
-func (wi *WorkerIndex) closestIdleWithin(node geo.NodeID, now float64, minCapacity int, maxCost float64, sc *probeScratch, scan *[]int32) (*order.Worker, float64) {
+func (wi *WorkerIndex) closestIdleWithin(node geo.NodeID, now float64, minCapacity int, maxCost float64, sc *probeScratch, cands *[]int32) (*order.Worker, float64) {
 	center := wi.ix.CellOf(node)
 	var best *order.Worker
 	bestCost := math.Inf(1)
@@ -176,9 +180,6 @@ func (wi *WorkerIndex) closestIdleWithin(node geo.NodeID, now float64, minCapaci
 		sc.candBuf = sc.candBuf[:0]
 		//det:hotalloc non-escaping ring visitor, stack-allocated because Ring only invokes it inline
 		wi.ix.Ring(center, d, func(cell int) bool {
-			if scan != nil {
-				*scan = append(*scan, int32(cell))
-			}
 			seen += len(wi.cells[cell])
 			for _, w := range wi.cells[cell] {
 				if !w.IdleAt(now) || w.Capacity < minCapacity {
@@ -194,6 +195,9 @@ func (wi *WorkerIndex) closestIdleWithin(node geo.NodeID, now float64, minCapaci
 				c := costs[i]
 				if math.IsInf(c, 1) || c > maxCost {
 					continue // unreachable or beyond the deadline budget
+				}
+				if cands != nil {
+					*cands = append(*cands, int32(w.ID))
 				}
 				if best == nil || c < bestCost || (c == bestCost && w.ID < best.ID) {
 					best = w
@@ -220,14 +224,15 @@ func (wi *WorkerIndex) closestIdleWithin(node geo.NodeID, now float64, minCapaci
 // ProbeReader is a read-only probe handle over the index with private
 // scratch: several readers may run ClosestIdleWithin concurrently (against
 // each other and against nothing else — the index must not be mutated while
-// any reader is in flight). Each probe also records the cells it visited,
-// which is exactly the dependency footprint of its answer.
+// any reader is in flight). Each probe also records the in-budget
+// candidates it costed, which is exactly the dependency footprint of its
+// answer.
 //
 //det:scratch reader-private probe state, never shared across goroutines
 type ProbeReader struct {
-	wi   *WorkerIndex
-	sc   probeScratch
-	scan []int32
+	wi    *WorkerIndex
+	sc    probeScratch
+	cands []int32
 }
 
 // NewReader returns a concurrent probe handle over the index.
@@ -236,15 +241,17 @@ func (wi *WorkerIndex) NewReader() *ProbeReader {
 }
 
 // ClosestIdleWithin runs the identical budgeted ring search as
-// WorkerIndex.ClosestIdleWithin and additionally returns the cells the
-// search visited. The returned slice is the reader's scratch, valid until
-// its next probe.
+// WorkerIndex.ClosestIdleWithin and additionally returns the worker IDs of
+// every costed in-budget candidate — the probe's answer is unchanged by
+// later same-tick dispatches exactly while none of these workers is
+// booked. The returned slice is the reader's scratch, valid until its next
+// probe.
 //
 //det:specroot concurrent probes must write only their reader's own scratch
 func (r *ProbeReader) ClosestIdleWithin(node geo.NodeID, now float64, minCapacity int, maxCost float64) (*order.Worker, float64, []int32) {
-	r.scan = r.scan[:0]
-	w, cost := r.wi.closestIdleWithin(node, now, minCapacity, maxCost, &r.sc, &r.scan)
-	return w, cost, r.scan
+	r.cands = r.cands[:0]
+	w, cost := r.wi.closestIdleWithin(node, now, minCapacity, maxCost, &r.sc, &r.cands)
+	return w, cost, r.cands
 }
 
 // KNearest returns up to k workers passing pred, ordered by increasing

@@ -135,6 +135,7 @@ func (g *Graph) initALTSlack() {
 			}
 		}
 	}
+	g.diam = diam
 	g.altMul = 1 - slack
 	g.altAbs = slack * 2 * diam
 }

@@ -47,6 +47,32 @@ func NewExampleNetwork() *Graph {
 	return g
 }
 
+// LatticeNetwork is a Network whose nodes form a W x H lattice addressable
+// by (x, y). The dataset synthesizer places demand by cell, so any network
+// a synthetic city runs on must expose the lattice addressing: GridCity
+// (closed-form costs) and Lattice (explicit graph behind the full routing
+// stack — ALT and, at scale, the contraction hierarchy) both do.
+type LatticeNetwork interface {
+	Network
+	Node(x, y int) geo.NodeID
+}
+
+// Lattice is a Graph that remembers its grid shape, so callers that place
+// demand by cell (the dataset synthesizer, the benchmark harness) can
+// address nodes as (x, y) without re-deriving the row-major layout.
+type Lattice struct {
+	*Graph
+	W, H int
+}
+
+// Node returns the NodeID at lattice position (x, y).
+func (l *Lattice) Node(x, y int) geo.NodeID { return geo.NodeID(y*l.W + x) }
+
+// NewPerturbedLattice is NewPerturbedGrid with the grid shape retained.
+func NewPerturbedLattice(w, h int, cellMeters, speed, jitter float64, seed int64) *Lattice {
+	return &Lattice{Graph: NewPerturbedGrid(w, h, cellMeters, speed, jitter, seed), W: w, H: h}
+}
+
 // NewPerturbedGrid builds an explicit W x H lattice graph whose per-edge
 // travel times are the uniform base time scaled by a random factor in
 // [1-jitter, 1+jitter]. It models uneven street speeds (congested vs fast

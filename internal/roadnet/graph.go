@@ -41,14 +41,28 @@ type Graph struct {
 	altMul    float64     // multiplicative admissibility slack
 	altAbs    float64     // absolute admissibility slack (seconds)
 
+	// diam is the largest finite landmark distance observed during ALT
+	// preprocessing — an observed lower bound on the diameter that doubles
+	// as a sound 2x upper bound when the graph is strongly connected. The
+	// contraction hierarchy's pruning margins are scaled from it.
+	diam float64
+
+	// Contraction hierarchy (see contract.go / chquery.go). Built by Build
+	// for graphs >= chAutoMinNodes nodes, or on demand via EnableHierarchy;
+	// chOff falls queries back to the ALT engine (bit-identical answers).
+	ch          *hierarchy
+	chOff       atomic.Bool
+	chBuildSecs float64 // wall-clock cost of buildHierarchy (benchmark reporting only)
+
 	// ppOff disables the point-to-point engine behind Cost (legacy cached
 	// full-Dijkstra mode); pinned is set by Precompute, after which every
 	// source is resident and the cache lookup is the fastest path.
 	ppOff  atomic.Bool
 	pinned atomic.Bool
 
-	// ppPool recycles per-query search state (see pp.go).
+	// ppPool / chPool recycle per-query search state (pp.go / chquery.go).
 	ppPool sync.Pool
+	chPool sync.Pool
 
 	mu       sync.Mutex
 	cache    map[geo.NodeID]*cacheSlot
@@ -161,6 +175,13 @@ func (b *GraphBuilder) Build() (*Graph, error) {
 	}
 	g.bounds = boundsOf(g.coords)
 	g.initLandmarks(defaultLandmarkCount(n))
+	if n >= chAutoMinNodes {
+		// Real-city scale: ALT query cost grows with the corridor, so the
+		// contraction hierarchy pays for itself within a few leg matrices
+		// (watterbench -benchroute reports the amortization). Small graphs
+		// skip it; tests force it with EnableHierarchy.
+		g.buildHierarchy()
+	}
 	return g, nil
 }
 

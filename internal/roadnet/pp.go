@@ -146,12 +146,27 @@ const maxHeuristicWork = 128
 
 // CostPP returns the shortest travel time from one node to another via the
 // point-to-point engine (+Inf when unreachable). Bit-identical to CostSSSP.
+// Hierarchy-enabled graphs answer through the CH engine (chquery.go); the
+// ALT arm remains reachable via SetHierarchy(false) or CostALT.
 func (g *Graph) CostPP(from, to geo.NodeID) float64 {
 	if from == to {
 		return 0
 	}
 	if g.pinned.Load() || g.ppOff.Load() {
 		return g.costSSSP(from, to)
+	}
+	if g.chReady() {
+		return g.chCostPP(from, to)
+	}
+	return g.CostALT(from, to)
+}
+
+// CostALT answers a point-to-point query via the ALT engine regardless of
+// whether a contraction hierarchy is built. It is the property-test and
+// benchmark reference arm for the CH engine.
+func (g *Graph) CostALT(from, to geo.NodeID) float64 {
+	if from == to {
+		return 0
 	}
 	sc := g.getScratch()
 	//det:hotalloc pooled scratch retains capacity across queries; these appends grow it only on first use
@@ -201,6 +216,10 @@ func (g *Graph) costMatrixInto(sources, targets []geo.NodeID, maxCost float64, o
 				row[j] = float64(e.dist[t])
 			}
 		}
+		return
+	}
+	if g.chReady() {
+		g.chMatrixInto(sources, targets, maxCost, out)
 		return
 	}
 	sc := g.getScratch()

@@ -19,6 +19,12 @@ type PoolView interface {
 	// BestGroup returns the order's current best shared group and its
 	// expiry τg; ok is false when none exists.
 	BestGroup(id int) (*order.Group, float64, bool)
+	// BestGroupVersion returns the order's best-group semantic version:
+	// it changes exactly when the best group's member set or expiry does,
+	// and stays put across refreshes that rebuild an identical group. The
+	// engine keys group speculations on it, because a probe's answer
+	// depends only on the group's semantics, never its pointer.
+	BestGroupVersion(id int) uint64
 }
 
 // Stats counts the engine's speculation traffic over one run.
@@ -27,10 +33,11 @@ type Stats struct {
 	// per-order speculations computed across them.
 	Ticks, SpecOrders uint64
 	// GroupHits/SoloHits consumed a valid speculative probe at commit;
-	// GroupInvalid/SoloInvalid were discarded because a dispatch dirtied a
-	// scanned cell (the cross-shard conflict case — recomputed fresh by
-	// the coordinator); GroupMiss/SoloMiss found no usable speculation
-	// (e.g. the best group changed mid-tick).
+	// GroupInvalid/SoloInvalid were discarded because a dispatch this tick
+	// booked a worker the probe had considered as an in-budget candidate
+	// (the cross-shard conflict case — recomputed fresh by the
+	// coordinator); GroupMiss/SoloMiss found no usable speculation (e.g.
+	// the best group semantically changed mid-tick).
 	GroupHits, GroupInvalid, GroupMiss uint64
 	SoloHits, SoloInvalid, SoloMiss    uint64
 	// PlanHits consumed the cached singleton plan at commit.
@@ -45,18 +52,18 @@ type Stats struct {
 
 // spec is one order's speculative tick work: the best-group worker probe,
 // the singleton plan, and the solo worker probe, each carried with the
-// dependency footprint (scanned cells) that decides its validity at commit.
+// dependency footprint (the candidate workers the probe costed in budget)
+// that decides its validity at commit.
 //
 //det:scratch per-order speculation slot, written only by the owning shard within one tick
 type spec struct {
 	epoch uint64
 
 	gProbed   bool
-	g         *order.Group
-	gExpiry   float64
+	gVer      uint64
 	gw        *order.Worker
 	gApproach float64
-	gScan     []int32
+	gCands    []int32
 
 	planKnown    bool
 	soloPlan     *order.RoutePlan
@@ -66,7 +73,7 @@ type spec struct {
 	sBudget   float64
 	sw        *order.Worker
 	sApproach float64
-	sScan     []int32
+	sCands    []int32
 }
 
 // soloEntry memoizes one order's singleton route across ticks. The
@@ -93,9 +100,12 @@ type soloMemo map[int]*soloEntry
 // each shard speculates for the orders whose pickup slot it owns — while
 // phase B (the caller's own sequential commit loop) consumes speculations
 // through GroupProbe/SoloPlan/SoloProbe, falling back to fresh computation
-// whenever a dispatch invalidated one. Dispatch commits report the cells
-// they touch through the worker index's move observer; a speculation is
-// valid exactly while none of the cells its probe visited were touched.
+// whenever a dispatch invalidated one. Dispatch commits report the worker
+// they book through the worker index's move observer; a speculation is
+// valid exactly while none of the candidate workers its probe costed in
+// budget were booked — bookings only remove candidates (a dispatch never
+// makes a worker idle within a tick), so an answer whose considered
+// candidates all survived is the answer a fresh search would return.
 //
 // The engine is owned by one framework instance and is not safe for
 // concurrent use by multiple simulation goroutines.
@@ -117,10 +127,11 @@ type Engine struct {
 	idx     map[int]int
 	specs   []spec
 
-	// cellEpoch[c] == tickEpoch marks cell c as touched by a dispatch this
-	// tick; stale stamps from earlier ticks are ignored for free.
-	tickEpoch uint64
-	cellEpoch []uint64
+	// workerEpoch[id] == tickEpoch marks worker id as booked by a dispatch
+	// this tick; stale stamps from earlier ticks are ignored for free.
+	// Indexed by worker ID, grown on demand.
+	tickEpoch   uint64
+	workerEpoch []uint64
 
 	slotLoad []int
 	stats    Stats
@@ -140,16 +151,15 @@ func NewEngine(k int, ix *gridindex.Index, wi *gridindex.WorkerIndex, planner *r
 		return nil, err
 	}
 	e := &Engine{
-		table:     table,
-		ix:        ix,
-		wi:        wi,
-		planner:   planner,
-		capacity:  capacity,
-		readers:   make([]*gridindex.ProbeReader, table.K()),
-		solo:      make([]soloMemo, table.K()),
-		idx:       make(map[int]int),
-		cellEpoch: make([]uint64, ix.NumCells()),
-		slotLoad:  make([]int, ix.NumCells()),
+		table:    table,
+		ix:       ix,
+		wi:       wi,
+		planner:  planner,
+		capacity: capacity,
+		readers:  make([]*gridindex.ProbeReader, table.K()),
+		solo:     make([]soloMemo, table.K()),
+		idx:      make(map[int]int),
+		slotLoad: make([]int, ix.NumCells()),
 	}
 	for i := range e.readers {
 		e.readers[i] = wi.NewReader()
@@ -165,12 +175,17 @@ func (e *Engine) Table() *SlotTable { return e.table }
 // Stats returns a snapshot of the engine's speculation counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
-// noteMove marks a dispatched worker's previous and current cells dirty
-// for the remainder of the tick; any speculation whose probe visited
-// either cell is no longer trusted.
-func (e *Engine) noteMove(_ *order.Worker, oldCell, newCell int) {
-	e.cellEpoch[oldCell] = e.tickEpoch
-	e.cellEpoch[newCell] = e.tickEpoch
+// noteMove marks a dispatched worker as booked for the remainder of the
+// tick; any speculation whose probe considered it as an in-budget
+// candidate is no longer trusted.
+func (e *Engine) noteMove(w *order.Worker, _, _ int) {
+	if w.ID >= len(e.workerEpoch) {
+		//det:hotalloc grows the booked-worker stamp array to the fleet's ID high-water mark once
+		grown := make([]uint64, w.ID+1)
+		copy(grown, e.workerEpoch)
+		e.workerEpoch = grown
+	}
+	e.workerEpoch[w.ID] = e.tickEpoch
 }
 
 // BeginTick runs the speculation phase for one periodic check: the pooled
@@ -258,11 +273,15 @@ func (e *Engine) speculateOne(r *gridindex.ProbeReader, memo soloMemo, i int) {
 	if o == nil {
 		return
 	}
-	// Best-group worker probe, mirroring the commit loop's gate.
+	// Best-group worker probe, mirroring the commit loop's gate. The
+	// speculation is keyed by the best group's semantic version: the probe
+	// depends only on (first pickup, riders, expiry), all of which are
+	// pinned by the version, so it stays consumable across commits that
+	// rebuild an identical group under a new pointer.
 	if g, expiry, ok := e.view.BestGroup(id); ok && e.anyIdle {
-		w, approach, scan := r.ClosestIdleWithin(g.Plan.Stops[0].Node, e.now, g.Riders(), expiry-e.now)
-		sp.g, sp.gExpiry, sp.gw, sp.gApproach = g, expiry, w, approach
-		sp.gScan = append(sp.gScan[:0], scan...)
+		w, approach, cands := r.ClosestIdleWithin(g.Plan.Stops[0].Node, e.now, g.Riders(), expiry-e.now)
+		sp.gVer, sp.gw, sp.gApproach = e.view.BestGroupVersion(id), w, approach
+		sp.gCands = append(sp.gCands[:0], cands...)
 		sp.gProbed = true
 	}
 	// Singleton plan (memoized across ticks) + feasibility at this now,
@@ -283,9 +302,9 @@ func (e *Engine) speculateOne(r *gridindex.ProbeReader, memo soloMemo, i int) {
 	// horizon shrink and a solo dispatch would use.
 	if sp.soloFeasible && e.anyIdle {
 		budget := soloSlack(ent.plan, o, e.now)
-		w, approach, scan := r.ClosestIdleWithin(ent.plan.Stops[0].Node, e.now, o.Riders, budget)
+		w, approach, cands := r.ClosestIdleWithin(ent.plan.Stops[0].Node, e.now, o.Riders, budget)
 		sp.sBudget, sp.sw, sp.sApproach = budget, w, approach
-		sp.sScan = append(sp.sScan[:0], scan...)
+		sp.sCands = append(sp.sCands[:0], cands...)
 		sp.sProbed = true
 	}
 }
@@ -302,11 +321,11 @@ func soloSlack(plan *order.RoutePlan, o *order.Order, now float64) float64 {
 	return 0
 }
 
-// cellsClean reports whether none of the probe's visited cells were
-// touched by a dispatch this tick.
-func (e *Engine) cellsClean(scan []int32) bool {
-	for _, c := range scan {
-		if e.cellEpoch[c] == e.tickEpoch {
+// workersClean reports whether none of the probe's costed in-budget
+// candidates were booked by a dispatch this tick.
+func (e *Engine) workersClean(cands []int32) bool {
+	for _, id := range cands {
+		if int(id) < len(e.workerEpoch) && e.workerEpoch[id] == e.tickEpoch {
 			return false
 		}
 	}
@@ -326,16 +345,17 @@ func (e *Engine) specFor(id int) *spec {
 }
 
 // GroupProbe returns the speculated (worker, approach) for the order's
-// best group, valid only when the group is the exact one speculated
-// against and no dispatch touched a scanned cell. ok=false means the
-// caller must probe fresh — the coordinator's cross-shard fallback.
+// best group, valid only while the best group is semantically the one
+// speculated against (same version) and no dispatch booked a candidate
+// the probe considered. ok=false means the caller must probe fresh — the
+// coordinator's cross-shard fallback.
 func (e *Engine) GroupProbe(id int, g *order.Group, expiry float64) (*order.Worker, float64, bool) {
 	sp := e.specFor(id)
-	if sp == nil || !sp.gProbed || sp.g != g || sp.gExpiry != expiry {
+	if sp == nil || !sp.gProbed || sp.gVer != e.view.BestGroupVersion(id) {
 		e.stats.GroupMiss++
 		return nil, 0, false
 	}
-	if !e.cellsClean(sp.gScan) {
+	if !e.workersClean(sp.gCands) {
 		e.stats.GroupInvalid++
 		return nil, 0, false
 	}
@@ -356,14 +376,15 @@ func (e *Engine) SoloPlan(id int) (*order.RoutePlan, bool, bool) {
 }
 
 // SoloProbe returns the speculated solo worker probe, valid only for the
-// exact budget speculated and while its scanned cells are untouched.
+// exact budget speculated and while none of its considered candidates
+// were booked.
 func (e *Engine) SoloProbe(id int, budget float64) (*order.Worker, float64, bool) {
 	sp := e.specFor(id)
 	if sp == nil || !sp.sProbed || sp.sBudget != budget {
 		e.stats.SoloMiss++
 		return nil, 0, false
 	}
-	if !e.cellsClean(sp.sScan) {
+	if !e.workersClean(sp.sCands) {
 		e.stats.SoloInvalid++
 		return nil, 0, false
 	}

@@ -16,6 +16,7 @@ type fakeView struct {
 	orders map[int]*order.Order
 	groups map[int]*order.Group
 	expiry map[int]float64
+	ver    map[int]uint64
 }
 
 func (v *fakeView) Order(id int) *order.Order { return v.orders[id] }
@@ -26,6 +27,7 @@ func (v *fakeView) BestGroup(id int) (*order.Group, float64, bool) {
 	}
 	return g, v.expiry[id], true
 }
+func (v *fakeView) BestGroupVersion(id int) uint64 { return v.ver[id] }
 
 func testOrder(net roadnet.Network, id int, pu, do geo.NodeID, release, tau float64) *order.Order {
 	direct := net.Cost(pu, do)
@@ -65,6 +67,7 @@ func engineFixture(t *testing.T) (*Engine, *fakeView, *gridindex.WorkerIndex, []
 		orders: map[int]*order.Order{1: o1, 2: o2, 3: o3, 4: o4},
 		groups: map[int]*order.Group{1: g12, 2: g12, 3: g34, 4: g34},
 		expiry: map[int]float64{1: 500, 2: 500, 3: 500, 4: 500},
+		ver:    map[int]uint64{},
 	}
 	eng, err := NewEngine(4, ix, wi, planner, 4, 2)
 	if err != nil {
@@ -108,23 +111,25 @@ func TestEngineSpeculationMatchesFreshProbes(t *testing.T) {
 			t.Fatalf("order %d: solo speculated (%v, %v), fresh (%v, %v)", id, sw, sa, fsw, fsa)
 		}
 	}
-	// Wrong group or wrong budget must never be served speculatively.
+	// A semantic change to the best group (version bump) or a different
+	// solo budget must never be served speculatively. A pointer-identical
+	// rebuild would keep the version and stay consumable — that is the
+	// point of version keying.
+	view.ver[1]++
 	g, expiry, _ := view.BestGroup(1)
-	if _, _, ok := eng.GroupProbe(1, &order.Group{}, expiry); ok {
-		t.Fatal("speculation served for a different group")
-	}
-	if _, _, ok := eng.GroupProbe(1, g, expiry+1); ok {
-		t.Fatal("speculation served for a different expiry")
+	if _, _, ok := eng.GroupProbe(1, g, expiry); ok {
+		t.Fatal("speculation served across a best-group version bump")
 	}
 	if _, _, ok := eng.SoloProbe(1, 1e9); ok {
 		t.Fatal("solo speculation served for a different budget")
 	}
 }
 
-// TestEngineDispatchInvalidatesTouchedCells: booking a worker invalidates
-// exactly the speculations whose probes scanned one of its cells; distant
-// speculations stay valid, and the next tick starts clean.
-func TestEngineDispatchInvalidatesTouchedCells(t *testing.T) {
+// TestEngineDispatchInvalidatesBookedCandidates: booking a worker
+// invalidates exactly the speculations whose probes costed it as an
+// in-budget candidate; speculations that never considered the worker stay
+// valid, and the next tick starts clean.
+func TestEngineDispatchInvalidatesBookedCandidates(t *testing.T) {
 	eng, view, wi, workers, ids, _ := engineFixture(t)
 	now := 10.0
 	eng.BeginTick(view, ids, now, true)
