@@ -1,0 +1,13 @@
+#!/bin/sh
+# timed.sh NAME CMD [ARG...] — run CMD, appending "NAME  <seconds>s" to
+# /tmp/ci_step_times.txt. The ci workflow wraps its heavy steps with this
+# and prints the collected table in a final always() step, so a slow run
+# shows at a glance which step ate the wall clock without spelunking logs.
+name="$1"
+shift
+start=$(date +%s)
+"$@"
+rc=$?
+end=$(date +%s)
+printf '%-44s %5ss\n' "$name" "$((end - start))" >>/tmp/ci_step_times.txt
+exit $rc

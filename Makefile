@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench lint detlint staticcheck govulncheck fmt ci fixtures benchsweep benchroute benchstream benchpool benchshard benchproxy benchgate clean
+.PHONY: build examples test race bench lint detlint staticcheck govulncheck fmt ci fixtures benchsweep benchroute benchstream benchpool benchshard benchproxy benchload benchgate clean
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,11 @@ benchshard:
 benchproxy:
 	$(GO) run ./cmd/watterproxy -quiet -json BENCH_proxy.json
 
+# Regenerate the open-loop load-harness baseline (arrival rows + max
+# sustainable rate; everything virtual-clock deterministic).
+benchload:
+	$(GO) run ./cmd/watterload -quiet -json BENCH_load.json
+
 # Gate freshly produced /tmp reports against the committed baselines —
 # exactly the final CI step (run the bench steps first to produce them).
 benchgate:
@@ -97,7 +102,8 @@ benchgate:
 		BENCH_stream.json=/tmp/bench_stream_ci.json \
 		BENCH_pool.json=/tmp/bench_pool_ci.json \
 		BENCH_shard.json=/tmp/bench_shard_ci.json \
-		BENCH_proxy.json=/tmp/bench_proxy_ci.json
+		BENCH_proxy.json=/tmp/bench_proxy_ci.json \
+		BENCH_load.json=/tmp/bench_load_ci.json
 
 clean:
 	$(GO) clean

@@ -11,23 +11,30 @@
 //
 // For every baseline/fresh report pair, three families of keys are gated:
 //
-//   - correctness flags — every baseline key matching *identical* that is
-//     true (metrics_bit_identical, distances_bit_identical,
-//     pool_decisions_identical, ...) must be true in the fresh report.
-//     These are hard guarantees: any false is a bug, not noise.
-//   - speedups — every numeric key containing "speedup" must be at least
-//     -frac of the baseline value (default 0.6x: generous enough for
-//     shared CI runners, tight enough to catch a lost optimization).
-//   - overheads — lower-is-better "overhead_factor" keys may grow to at
-//     most -growth times the baseline (default 1.5x).
+//   - correctness flags — every baseline key matching *identical* or
+//     *deterministic* that is true (metrics_bit_identical,
+//     journal_deterministic, rate_search_deterministic, ...) must be true
+//     in the fresh report. These are hard guarantees: any false is a bug,
+//     not noise.
+//   - speedups and throughput — every numeric key containing "speedup" or
+//     "sustain" (sustained_orders_per_sec, max_sustainable_rate) must be
+//     at least -frac of the baseline value (default 0.6x: generous enough
+//     for shared CI runners, tight enough to catch a lost optimization).
+//   - overheads and latency tails — lower-is-better keys containing
+//     "overhead_factor" or "p99_latency" may grow to at most -growth
+//     times the baseline (default 1.5x). The p999 tail is reported but
+//     not gated: with a handful of observations per smoke run its bucket
+//     is too jumpy to hold a ratio against ("p999_latency_s" deliberately
+//     does not contain the substring "p99_latency").
 //
 // Reports may be flat objects or carry a "rows" array of per-scale rows
-// (BENCH_routing.json): rows are matched between baseline and fresh by
-// their "city" key and gated with the same three families, reported as
-// rows[<city>].<key>. Correctness flags are additionally absolute: any
-// false *identical* flag anywhere in a fresh report fails the gate even
-// when the baseline has no matching row — a new city scale never gets to
-// ship with broken bit-identity.
+// (BENCH_routing.json, BENCH_load.json): rows are matched between
+// baseline and fresh by their "city" key ("scenario" when no city key
+// exists) and gated with the same families, reported as rows[<name>].<key>.
+// Correctness flags are additionally absolute: any false hard flag
+// anywhere in a fresh report fails the gate even when the baseline has no
+// matching row — a new city scale never gets to ship with broken
+// bit-identity.
 //
 // Exit status is non-zero when any gate fails or a report is missing, so
 // the CI job fails loudly.
@@ -133,7 +140,7 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 	for _, key := range keys {
 		bv := base[key]
 		switch {
-		case strings.Contains(key, "identical"):
+		case isHardFlag(key):
 			bb, ok := bv.(bool)
 			if !ok || !bb {
 				continue // a baseline that never held the guarantee can't gate it
@@ -145,7 +152,7 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 				pair: pair, key: key, ok: ok && fb,
 				note: fmt.Sprintf("baseline=true fresh=%v", fresh[key]),
 			})
-		case strings.Contains(key, "speedup"):
+		case strings.Contains(key, "speedup"), strings.Contains(key, "sustain"):
 			bf, ok := bv.(float64)
 			if !ok || bf <= 0 {
 				continue
@@ -157,7 +164,7 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 				pair: pair, key: key, ok: ok && ff >= floor,
 				note: fmt.Sprintf("fresh=%.3f floor=%.3f (baseline=%.3f x frac=%.2f)", ff, floor, bf, frac),
 			})
-		case strings.Contains(key, "overhead_factor"):
+		case strings.Contains(key, "overhead_factor"), strings.Contains(key, "p99_latency"):
 			bf, ok := bv.(float64)
 			if !ok || bf <= 0 {
 				continue
@@ -180,7 +187,7 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 	}
 	sort.Strings(fkeys)
 	for _, key := range fkeys {
-		if covered[key] || !strings.Contains(key, "identical") {
+		if covered[key] || !isHardFlag(key) {
 			continue
 		}
 		if fb, ok := fresh[key].(bool); ok && !fb {
@@ -192,7 +199,7 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 		}
 	}
 	if gated == 0 {
-		return nil, fmt.Errorf("baseline %s exposes no gated keys (identical/speedup/overhead_factor)", basePath)
+		return nil, fmt.Errorf("baseline %s exposes no gated keys (identical/deterministic/speedup/sustain/overhead_factor/p99_latency)", basePath)
 	}
 	// Stable output: sort by key.
 	for i := 1; i < len(rs); i++ {
@@ -203,10 +210,17 @@ func gatePair(basePath, freshPath string, frac, growth float64) ([]gateResult, e
 	return rs, nil
 }
 
+// isHardFlag reports whether a key names a boolean guarantee gated as a
+// hard pass/fail: bit-identity flags and run-to-run determinism flags.
+func isHardFlag(key string) bool {
+	return strings.Contains(key, "identical") || strings.Contains(key, "deterministic")
+}
+
 // flatten folds a report's "rows" array (if any) into the flat key space:
-// each row becomes rows[<city>].<key> entries, matched across reports by
-// the row's "city" value (its index when no city key exists). Scalar keys
-// pass through untouched, so flat reports gate exactly as before.
+// each row becomes rows[<name>].<key> entries, matched across reports by
+// the row's "city" value, then its "scenario" value (BENCH_load.json),
+// then its index. Scalar keys pass through untouched, so flat reports
+// gate exactly as before.
 func flatten(m map[string]any) map[string]any {
 	rows, ok := m["rows"].([]any)
 	if !ok {
@@ -226,10 +240,12 @@ func flatten(m map[string]any) map[string]any {
 		name := fmt.Sprintf("%d", i)
 		if city, ok := row["city"].(string); ok && city != "" {
 			name = city
+		} else if scen, ok := row["scenario"].(string); ok && scen != "" {
+			name = scen
 		}
 		//det:unordered pure map-to-map copy under an injective key rename; consumers re-sort the flat key space
 		for k, v := range row {
-			if k == "city" {
+			if k == "city" || k == "scenario" {
 				continue
 			}
 			out[fmt.Sprintf("rows[%s].%s", name, k)] = v

@@ -15,6 +15,7 @@ import (
 	"watter/internal/dataset"
 	"watter/internal/gmm"
 	"watter/internal/gridindex"
+	"watter/internal/load"
 	"watter/internal/mdp"
 	"watter/internal/nn"
 	"watter/internal/order"
@@ -39,6 +40,14 @@ type Params struct {
 	// without changing any decision, so results are bit-identical at any
 	// value; baselines without a shardable check ignore it.
 	Shards int
+	// Arrival, when its Process is set, replaces the dataset's rush-hour
+	// arrival times with an open-loop arrival process schedule
+	// (load.ArrivalSpec: Poisson, surge or Pareto at a configured rate) —
+	// the load harness's process abstraction doubling as a sweep axis, so
+	// "how does each algorithm hold up under a surge" is an ordinary
+	// experiment cell. Deadlines follow the re-timed releases through
+	// load.Retime; everything stays deterministic under the spec's seed.
+	Arrival load.ArrivalSpec
 	// NumCities runs the cell as a multi-city front tier: N instances of
 	// City (seed-derived independent workloads and fleets) behind one
 	// dispatch proxy, metrics aggregated across cities. 0 and 1 both mean
@@ -181,6 +190,18 @@ func workloadIn(city *dataset.City, p Params) (*dataset.City, []*order.Order, []
 	orders := city.Orders(dataset.WorkloadConfig{
 		Orders: p.Orders, Seed: p.Seed, TauScale: p.TauScale, Eta: p.Eta,
 	})
+	if p.Arrival.Process != "" {
+		// Open-loop arrival axis: keep the city's endpoint sampling, swap
+		// the release schedule for the configured process over the default
+		// workload window. Times returns at most as many arrivals as fit
+		// the horizon; Retime drops whichever side is longer.
+		wcfg := dataset.WorkloadConfig{}.Defaults()
+		times, err := p.Arrival.Times(wcfg.HorizonSeconds)
+		if err != nil {
+			panic(fmt.Sprintf("exp: invalid arrival spec: %v", err))
+		}
+		orders = load.Retime(orders, times, p.TauScale)
+	}
 	workers := city.Workers(p.Workers, p.MaxCap, p.Seed+1000)
 	return city, orders, workers
 }

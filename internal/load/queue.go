@@ -1,0 +1,68 @@
+package load
+
+// QueueModel is the deterministic event-bus consumer model behind the
+// backpressure-onset measurement. A real platform.Events() channel of
+// capacity Buffer, drained by a consumer that polls once per tick, would
+// block the feeder at the first emit that finds the buffer full; blocking
+// the feeder inside a virtual-clock harness would deadlock (feeder and
+// consumer share one goroutine) and, worse, would make the onset depend on
+// scheduler timing. So the harness taps the synchronous observer — which
+// never blocks and never reorders — and replays the channel arithmetic
+// here: every event enqueues one unit, and at each tick boundary the
+// modelled consumer dequeues up to DrainPerTick units. Pure integer
+// arithmetic over the (deterministic) event stream ⇒ the onset point is a
+// deterministic function of (workload, buffer, drain rate).
+type QueueModel struct {
+	// Buffer is the modelled channel capacity (platform.WithEventBuffer).
+	Buffer int
+	// DrainPerTick is how many events the modelled consumer dequeues at
+	// each tick boundary.
+	DrainPerTick int
+
+	depth int
+	peak  int
+	onset float64
+	armed bool
+}
+
+// NewQueueModel returns a model with the onset unset.
+func NewQueueModel(buffer, drainPerTick int) *QueueModel {
+	return &QueueModel{Buffer: buffer, DrainPerTick: drainPerTick, onset: -1, armed: true}
+}
+
+// Push enqueues one event at virtual time t. The first push that lifts the
+// depth above Buffer — the emit at which a real channel send would have
+// blocked — latches the onset time.
+func (q *QueueModel) Push(t float64) {
+	q.depth++
+	if q.depth > q.peak {
+		q.peak = q.depth
+	}
+	if q.armed && q.onset < 0 && q.depth > q.Buffer {
+		q.onset = t
+	}
+}
+
+// Drain runs the modelled consumer's per-tick dequeue.
+func (q *QueueModel) Drain() {
+	if q.depth <= q.DrainPerTick {
+		q.depth = 0
+		return
+	}
+	q.depth -= q.DrainPerTick
+}
+
+// Depth returns the current modelled backlog.
+func (q *QueueModel) Depth() int { return q.depth }
+
+// Peak returns the largest backlog ever observed.
+func (q *QueueModel) Peak() int { return q.peak }
+
+// Onset returns the virtual time of the first would-block emit, or -1 if
+// the buffer never saturated.
+func (q *QueueModel) Onset() float64 {
+	if !q.armed {
+		return -1
+	}
+	return q.onset
+}

@@ -30,7 +30,10 @@ func (e OrderAdmitted) When() float64 { return e.Time }
 func (OrderAdmitted) event()          {}
 
 // ServiceRecord is one served order's share of a dispatch: the response
-// and detour seconds that feed the extra-time metric.
+// and detour seconds that feed the extra-time metric. Response is
+// dispatch-time minus release — the admit→dispatch latency the load
+// harness histograms — so latency tails come straight off the event bus
+// with no extra bookkeeping.
 type ServiceRecord struct {
 	OrderID  int
 	Response float64
@@ -89,6 +92,13 @@ func (TickCompleted) event()          {}
 type fanSink struct {
 	fn func(Event)
 	ch chan Event
+	// highWater is the deepest channel backlog ever observed at an emit;
+	// blockedSends counts emits that found the buffer already full (the
+	// feeder stalled until the consumer caught up). Both are written only
+	// from the feeding goroutine and surface through Stats as the
+	// queue-depth sampling hook the load harness builds on.
+	highWater    int
+	blockedSends uint64
 }
 
 // emit fans one event out to whichever taps exist, observer first.
@@ -97,7 +107,13 @@ func (b *fanSink) emit(ev Event) {
 		b.fn(ev)
 	}
 	if b.ch != nil {
+		if len(b.ch) == cap(b.ch) {
+			b.blockedSends++
+		}
 		b.ch <- ev
+		if d := len(b.ch); d > b.highWater {
+			b.highWater = d
+		}
 	}
 }
 

@@ -342,10 +342,15 @@ func TestStatsMergeClockAndFlags(t *testing.T) {
 
 // TestStatsMergeCoversEveryCounter self-merges a snapshot whose every
 // numeric field holds a distinct value and checks each one exactly
-// doubled (Clock, a max, stays put). Adding a counter to shard.Stats or
+// doubled (fields with max semantics — Clock, the event-bus high-water
+// mark — stay put instead). Adding a counter to shard.Stats or
 // pool.CacheStats without extending Merge fails here — the field would
 // come back un-doubled.
 func TestStatsMergeCoversEveryCounter(t *testing.T) {
+	// High-water marks fold by max, not sum: self-merge leaves them put.
+	maxFields := map[string]bool{
+		"Stats.EventQueueHighWater": true,
+	}
 	var s Stats
 	n := int64(1)
 	var fill func(v reflect.Value)
@@ -378,6 +383,13 @@ func TestStatsMergeCoversEveryCounter(t *testing.T) {
 			case reflect.Struct:
 				check(name, o, m)
 			case reflect.Int:
+				if maxFields[name] {
+					if m.Int() != o.Int() {
+						t.Errorf("%s = %d after self-merge, want unchanged %d (max, not sum)",
+							name, m.Int(), o.Int())
+					}
+					continue
+				}
 				if m.Int() != 2*o.Int() {
 					t.Errorf("%s = %d after self-merge, want %d — field missing from Merge?",
 						name, m.Int(), 2*o.Int())

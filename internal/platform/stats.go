@@ -38,6 +38,14 @@ type Stats struct {
 	// the bottleneck and feeders are about to block.
 	EventQueueDepth int
 	EventQueueCap   int
+	// EventQueueHighWater is the deepest backlog any emit has observed —
+	// the sampled backpressure indicator the load harness reads — and
+	// EventBlockedSends counts emits that found the buffer full and
+	// stalled the feeder. A nonzero EventBlockedSends is the bus
+	// saturation signal: the consumer fell a full buffer behind at least
+	// once.
+	EventQueueHighWater int
+	EventBlockedSends   uint64
 
 	// Shard carries the slot-sharded dispatch engine's speculation
 	// counters; ShardActive is false when no engine is running (K = 1, or
@@ -71,6 +79,10 @@ func (p *Platform) Stats() Stats {
 	if p.events != nil {
 		st.EventQueueDepth = len(p.events)
 		st.EventQueueCap = cap(p.events)
+	}
+	if p.sink != nil {
+		st.EventQueueHighWater = p.sink.highWater
+		st.EventBlockedSends = p.sink.blockedSends
 	}
 	if se, ok := p.stream.Alg().(interface{ ShardEngine() *shard.Engine }); ok {
 		if eng := se.ShardEngine(); eng != nil {
@@ -106,6 +118,12 @@ func (s *Stats) Merge(t Stats) {
 
 	s.EventQueueDepth += t.EventQueueDepth
 	s.EventQueueCap += t.EventQueueCap
+	// High-water is a per-bus peak, not an additive backlog: the fleet
+	// watermark is its worst member. Blocked sends are occurrences and sum.
+	if t.EventQueueHighWater > s.EventQueueHighWater {
+		s.EventQueueHighWater = t.EventQueueHighWater
+	}
+	s.EventBlockedSends += t.EventBlockedSends
 
 	s.Shard.Ticks += t.Shard.Ticks
 	s.Shard.SpecOrders += t.Shard.SpecOrders

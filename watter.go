@@ -51,6 +51,7 @@ import (
 	"watter/internal/core"
 	"watter/internal/dataset"
 	"watter/internal/exp"
+	"watter/internal/load"
 	"watter/internal/order"
 	"watter/internal/platform"
 	"watter/internal/pool"
@@ -197,6 +198,52 @@ var (
 	CityPaused  = proxy.StatePaused
 	CityDown    = proxy.StateDown
 	CityClosed  = proxy.StateClosed
+)
+
+// The open-loop load harness (cmd/watterload is a thin CLI over it):
+// synthetic arrival processes drive Submit at a configured rate on the
+// virtual clock, yielding sustained throughput, admit→dispatch latency
+// tails, decision slip and the modelled event-bus backpressure onset —
+// all bit-identical run to run (DESIGN.md §14).
+type (
+	// ArrivalProcess names an arrival process family (Poisson, Surge,
+	// Pareto).
+	ArrivalProcess = load.Process
+	// ArrivalSpec pins one arrival schedule: a pure function of (process,
+	// rate, seed, horizon).
+	ArrivalSpec = load.ArrivalSpec
+	// LoadConfig is one open-loop load run: city, fleet, arrival process
+	// and the modelled event-bus consumer.
+	LoadConfig = load.Config
+	// LoadResult is one run's deterministic measurements (throughput,
+	// latency and slip histograms, backpressure onset, stream/journal
+	// fingerprints).
+	LoadResult = load.Result
+	// LatencyHist is a mergeable log-bucketed (HDR-style) histogram.
+	LatencyHist = load.Hist
+	// RateSearchConfig brackets the maximum sustainable arrival rate.
+	RateSearchConfig = load.SearchConfig
+	// RateSearchResult reports the bisection outcome and every probe.
+	RateSearchResult = load.SearchResult
+)
+
+// Arrival process families for ArrivalSpec.Process.
+const (
+	ArrivalPoisson = load.Poisson
+	ArrivalSurge   = load.Surge
+	ArrivalPareto  = load.Pareto
+)
+
+// Load-harness entry points.
+var (
+	// RunLoad executes one open-loop load run.
+	RunLoad = load.Run
+	// SearchMaxRate bisects for the maximum sustainable arrival rate
+	// (deterministic: fixed bracket, fixed depth, virtual-clock probes).
+	SearchMaxRate = load.SearchMaxRate
+	// Retime rewrites a generated workload onto an arrival schedule —
+	// the bridge between arrival processes and the sweep harness.
+	Retime = load.Retime
 )
 
 // Lifecycle sentinels (test with errors.Is).
